@@ -1,0 +1,223 @@
+// Command praguecli is an interactive, terminal-based stand-in for the
+// paper's visual interface: it formulates a query one action at a time and
+// shows what the blended engine computes after each action — the Status
+// column of the paper's Figure 3 — plus similarity fallback, modification
+// suggestions, and ranked results.
+//
+// Usage:
+//
+//	praguecli -db aids.txt -index ./aids-index -sigma 3
+//	praguecli -generate 1000            # self-contained demo database
+//
+// Commands:
+//
+//	node <label>       add a node, prints its id
+//	edge <u> <v> [lbl] draw an edge between node ids (optional bond label)
+//	sim                continue as a similarity query (after an empty Rq)
+//	suggest            ask which edge to delete
+//	delete <step>      delete the edge drawn at the given step
+//	status             show the current engine state
+//	run                execute the query and print ranked results
+//	explain <id>       show how a data graph matches (MCCS highlighting)
+//	quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"prague/internal/core"
+	"prague/internal/graph"
+	"prague/internal/index"
+	"prague/internal/mining"
+
+	prague "prague"
+)
+
+func main() {
+	var (
+		dbPath   = flag.String("db", "", "graph database in gSpan text format")
+		indexDir = flag.String("index", "", "persisted index directory (built on the fly if empty)")
+		generate = flag.Int("generate", 0, "generate an AIDS-like demo database of this size instead of -db")
+		sigma    = flag.Int("sigma", 3, "subgraph distance threshold σ")
+		alpha    = flag.Float64("alpha", 0.1, "α for on-the-fly index construction")
+	)
+	flag.Parse()
+
+	db, err := loadDB(*dbPath, *generate)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("database: %d graphs\n", len(db))
+
+	var idx *index.Set
+	if *indexDir != "" {
+		idx, err = index.Load(*indexDir)
+	} else {
+		fmt.Println("mining indexes (use -index to load persisted ones)...")
+		var mined *mining.Result
+		mined, err = mining.Mine(db, mining.Options{MinSupportRatio: *alpha, MaxSize: 6, IncludeZeroSupportPairs: true})
+		if err == nil {
+			idx, err = index.Build(mined, *alpha, 4)
+		}
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	engine, err := core.New(db, idx, *sigma)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Println("ready. type 'help' for commands.")
+	sc := bufio.NewScanner(os.Stdin)
+	for fmt.Print("prague> "); sc.Scan(); fmt.Print("prague> ") {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "help":
+			fmt.Println("commands: node <label> | edge <u> <v> [lbl] | sim | suggest | delete <step> | status | run | explain <id> | quit")
+		case "node":
+			if len(fields) != 2 {
+				fmt.Println("usage: node <label>")
+				continue
+			}
+			id := engine.AddNode(fields[1])
+			fmt.Printf("node %d (%s)\n", id, fields[1])
+		case "edge":
+			if len(fields) != 3 && len(fields) != 4 {
+				fmt.Println("usage: edge <u> <v> [label]")
+				continue
+			}
+			u, err1 := strconv.Atoi(fields[1])
+			v, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				fmt.Println("edge endpoints must be node ids")
+				continue
+			}
+			label := ""
+			if len(fields) == 4 {
+				label = fields[3]
+			}
+			out, err := engine.AddLabeledEdge(u, v, label)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			printOutcome(out)
+		case "sim":
+			out := engine.ChooseSimilarity()
+			printOutcome(out)
+		case "suggest":
+			sug, err := engine.SuggestDeletion()
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("suggestion: delete e%d (yields %d exact candidates)\n", sug.Step, sug.Candidates)
+		case "delete":
+			if len(fields) != 2 {
+				fmt.Println("usage: delete <step>")
+				continue
+			}
+			step, err := strconv.Atoi(fields[1])
+			if err != nil {
+				fmt.Println("step must be a number")
+				continue
+			}
+			out, derr := engine.DeleteEdge(step)
+			if derr != nil {
+				fmt.Println("error:", derr)
+				continue
+			}
+			printOutcome(out)
+		case "status":
+			free, ver, total := engine.CandidateCounts()
+			fmt.Printf("|q|=%d steps=%v similarity=%v awaiting-choice=%v |Rq|=%d Rfree=%d Rver=%d total=%d\n",
+				engine.Query().Size(), engine.Query().Steps(), engine.SimilarityMode(), engine.AwaitingChoice(),
+				len(engine.Rq()), free, ver, total)
+		case "spig":
+			fmt.Print(engine.Spigs().Dump())
+		case "explain":
+			if len(fields) != 2 {
+				fmt.Println("usage: explain <graph id>")
+				continue
+			}
+			gid, err := strconv.Atoi(fields[1])
+			if err != nil {
+				fmt.Println("graph id must be a number")
+				continue
+			}
+			m, merr := engine.Explain(gid)
+			if merr != nil {
+				fmt.Println("error:", merr)
+				continue
+			}
+			fmt.Printf("graph %d at distance %d: matched edges %v, missing %v\n",
+				m.GraphID, m.Distance, m.MatchedSteps, m.MissingSteps)
+			fmt.Printf("  node map (query node -> data node): %v\n", m.NodeMap)
+		case "run":
+			results, err := engine.Run()
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("%d results (SRT %v):\n", len(results), engine.Stats().RunTime.Round(10_000))
+			for i, r := range results {
+				if i == 20 {
+					fmt.Printf("  ... and %d more\n", len(results)-20)
+					break
+				}
+				fmt.Printf("  graph %d  distance %d\n", r.GraphID, r.Distance)
+			}
+		case "quit", "exit":
+			return
+		default:
+			fmt.Printf("unknown command %q (try 'help')\n", fields[0])
+		}
+	}
+}
+
+func printOutcome(out core.StepOutcome) {
+	switch {
+	case out.NeedsChoice:
+		fmt.Printf("step %d: status=%s — no exact match left; type 'sim' to continue approximately, or 'suggest'/'delete'\n",
+			out.Step, out.Status)
+	case out.Status == core.StatusSimilar:
+		fmt.Printf("step %d: status=%s  Rfree=%d Rver=%d\n", out.Step, out.Status, out.FreeCount, out.VerCount)
+	default:
+		fmt.Printf("step %d: status=%s  |Rq|=%d\n", out.Step, out.Status, out.ExactCount)
+	}
+}
+
+func loadDB(path string, generate int) ([]*graph.Graph, error) {
+	if generate > 0 {
+		db, err := prague.GenerateMolecules(generate, 42)
+		if err != nil {
+			return nil, err
+		}
+		return db.Graphs(), nil
+	}
+	if path == "" {
+		return nil, fmt.Errorf("either -db or -generate is required")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return graph.ReadAll(f)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "praguecli:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,120 @@
+package prague_test
+
+import (
+	"fmt"
+	"log"
+
+	prague "prague"
+)
+
+// Example shows the complete PRAGUE flow: generate a database, build the
+// action-aware indexes, formulate a query edge by edge, and run it.
+func Example() {
+	db, err := prague.GenerateMolecules(300, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ix, err := prague.BuildIndexes(db, prague.IndexOptions{Alpha: 0.1, Beta: 3, MaxFragmentSize: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := prague.NewSession(db, ix, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	c1 := s.AddNode("C")
+	c2 := s.AddNode("C")
+	out, err := s.AddEdge(c1, c2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("status after first edge:", out.Status)
+
+	results, err := s.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("all results exact:", allExact(results))
+	// Output:
+	// status after first edge: frequent
+	// all results exact: true
+}
+
+func allExact(results []prague.Result) bool {
+	for _, r := range results {
+		if r.Distance != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ExampleSession_ChooseSimilarity shows the similarity fallback: when the
+// exact candidate set empties, the session degrades to MCCS-based
+// substructure similarity search.
+func ExampleSession_ChooseSimilarity() {
+	db, _ := prague.GenerateMolecules(300, 42)
+	ix, _ := prague.BuildIndexes(db, prague.IndexOptions{Alpha: 0.1, Beta: 3, MaxFragmentSize: 5})
+	s, _ := prague.NewSession(db, ix, 2)
+
+	// Se-Se-Se almost certainly has no exact match.
+	a := s.AddNode("Se")
+	b := s.AddNode("Se")
+	c := s.AddNode("Se")
+	out, _ := s.AddEdge(a, b)
+	if out.NeedsChoice {
+		s.ChooseSimilarity()
+	}
+	out, _ = s.AddEdge(b, c)
+	if out.NeedsChoice {
+		s.ChooseSimilarity()
+	}
+	fmt.Println("similarity mode:", s.SimilarityMode())
+	// Output:
+	// similarity mode: true
+}
+
+// ExampleSession_SuggestDeletion shows Algorithm 6: when no exact match
+// remains, the engine recommends which edge to delete.
+func ExampleSession_SuggestDeletion() {
+	db, _ := prague.GenerateMolecules(300, 42)
+	ix, _ := prague.BuildIndexes(db, prague.IndexOptions{Alpha: 0.1, Beta: 3, MaxFragmentSize: 5})
+	s, _ := prague.NewSession(db, ix, 2)
+
+	c1 := s.AddNode("C")
+	c2 := s.AddNode("C")
+	se := s.AddNode("Se")
+	s.AddEdge(c1, c2) // e1: common
+	out, _ := s.AddEdge(c2, se)
+	_ = out
+	sug, err := s.SuggestDeletion()
+	if err != nil {
+		fmt.Println("no suggestion:", err)
+		return
+	}
+	fmt.Println("suggested deletion is a real edge:", sug.Step >= 1 && sug.Step <= 2)
+	// Output:
+	// suggested deletion is a real edge: true
+}
+
+// ExampleSession_AddPattern shows canned-pattern composition: a whole
+// benzene ring dropped in one gesture, still evaluated edge by edge.
+func ExampleSession_AddPattern() {
+	db, _ := prague.GenerateMolecules(300, 42)
+	ix, _ := prague.BuildIndexes(db, prague.IndexOptions{Alpha: 0.1, Beta: 3, MaxFragmentSize: 5})
+	s, _ := prague.NewSession(db, ix, 3)
+
+	ids, out, err := s.AddPattern(prague.Benzene(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if out.NeedsChoice {
+		s.ChooseSimilarity()
+	}
+	fmt.Println("pattern nodes:", len(ids))
+	fmt.Println("query size:", s.Query().Size())
+	// Output:
+	// pattern nodes: 6
+	// query size: 6
+}

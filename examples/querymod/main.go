@@ -1,0 +1,80 @@
+// Querymod: the modification workflow of the paper's §VII — when the exact
+// candidate set empties, the engine suggests which edge to delete to make
+// it non-empty again (Algorithm 6); the user may follow the suggestion or
+// delete any other edge, and the SPIG set is updated in microseconds
+// instead of GBLENDER's full replay.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	prague "prague"
+)
+
+func main() {
+	db, err := prague.GenerateMolecules(1500, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ix, err := prague.BuildIndexes(db, prague.IndexOptions{Alpha: 0.1, Beta: 4, MaxFragmentSize: 6})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := prague.NewSession(db, ix, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A common carbon chain ending in selenium, with an implausible
+	// terminal Se-Se bond: the last edge empties the candidate set, and
+	// because it is a terminal edge it is exactly what Algorithm 6 should
+	// suggest deleting.
+	c1 := s.AddNode("C")
+	c2 := s.AddNode("C")
+	c3 := s.AddNode("C")
+	se1 := s.AddNode("Se")
+	se2 := s.AddNode("Se")
+
+	edges := [][2]int{{c1, c2}, {c2, c3}, {c3, se1}, {se1, se2}}
+	needsChoice := false
+	for _, e := range edges {
+		out, err := s.AddEdge(e[0], e[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("e%d: status=%s exact=%d\n", out.Step, out.Status, out.ExactCount)
+		if out.NeedsChoice {
+			needsChoice = true
+		}
+	}
+	if !needsChoice {
+		fmt.Println("(this seed's database happens to contain the pattern; no modification needed)")
+		return
+	}
+
+	// The engine recommends a deletion that maximizes |Rq'|.
+	sug, err := s.SuggestDeletion()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsuggestion: delete e%d (would leave %d exact candidates)\n", sug.Step, sug.Candidates)
+
+	out, err := s.DeleteEdge(sug.Step)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mods := s.Stats().ModificationTime
+	fmt.Printf("deleted e%d in %v: status=%s exact=%d\n",
+		sug.Step, mods[len(mods)-1], out.Status, out.ExactCount)
+	if out.NeedsChoice {
+		s.ChooseSimilarity()
+		fmt.Println("still empty; continuing as a similarity query")
+	}
+
+	results, err := s.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%d results after modification (SRT %v)\n", len(results), s.Stats().RunTime)
+}

@@ -1,0 +1,73 @@
+// Quickstart: the full PRAGUE flow in one small program — generate a
+// database, build the action-aware indexes, formulate a query edge by edge
+// (each step evaluated during "GUI latency"), and run it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	prague "prague"
+)
+
+func main() {
+	// A small AIDS-like molecule database.
+	db, err := prague.GenerateMolecules(1000, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := db.Stats()
+	fmt.Printf("database: %d graphs, avg %.1f nodes / %.1f edges\n",
+		stats.NumGraphs, stats.AvgNodes, stats.AvgEdges)
+
+	// Offline preprocessing: mine frequent fragments and DIFs, build A²F/A²I.
+	ix, err := prague.BuildIndexes(db, prague.IndexOptions{Alpha: 0.1, Beta: 4, MaxFragmentSize: 6})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A session with subgraph distance threshold σ = 2: results may miss up
+	// to two query edges.
+	s, err := prague.NewSession(db, ix, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Formulate C-C-C-O visually: drop nodes, then draw edges one at a
+	// time. The engine evaluates after every edge.
+	c1 := s.AddNode("C")
+	c2 := s.AddNode("C")
+	c3 := s.AddNode("C")
+	o := s.AddNode("O")
+
+	for _, e := range [][2]int{{c1, c2}, {c2, c3}, {c3, o}} {
+		out, err := s.AddEdge(e[0], e[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("step %d: status=%s exact-candidates=%d (SPIG %v, eval %v)\n",
+			out.Step, out.Status, out.ExactCount, out.SpigTime, out.EvalTime)
+		if out.NeedsChoice {
+			// No exact match left: continue as a similarity query.
+			out = s.ChooseSimilarity()
+			fmt.Printf("        switched to similarity search: Rfree=%d Rver=%d\n",
+				out.FreeCount, out.VerCount)
+		}
+	}
+
+	// Press Run: only the residual work happens now (the SRT).
+	results, err := s.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%d results, SRT = %v\n", len(results), s.Stats().RunTime)
+	for i, r := range results {
+		if i == 5 {
+			fmt.Printf("  ... and %d more\n", len(results)-5)
+			break
+		}
+		g, _ := db.Graph(r.GraphID)
+		fmt.Printf("  graph %d (distance %d): %d nodes, %d edges\n",
+			r.GraphID, r.Distance, g.NumNodes(), g.NumEdges())
+	}
+}

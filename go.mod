@@ -1,0 +1,3 @@
+module prague
+
+go 1.23

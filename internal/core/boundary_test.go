@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+
+	"prague/internal/graph"
+	"prague/internal/index"
+)
+
+// TestSigmaAtLeastQuerySize is the regression for the fuzz-found boundary:
+// with σ ≥ |q|, Definition 3 admits every data graph (those sharing nothing
+// with the query sit at distance exactly |q|).
+func TestSigmaAtLeastQuerySize(t *testing.T) {
+	f := makeFixture(t, 61, 25, 0.3)
+	e, err := New(f.db, f.idx, 2) // σ = 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 2-edge query with a rare shape: σ equals |q|.
+	a := e.AddNode("S")
+	b := e.AddNode("S")
+	c := e.AddNode("S")
+	for _, ed := range [][2]int{{a, b}, {b, c}} {
+		if out, err := e.AddEdge(ed[0], ed[1]); err != nil {
+			t.Fatal(err)
+		} else if out.NeedsChoice {
+			e.ChooseSimilarity()
+		}
+	}
+	results, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(f.db) {
+		t.Fatalf("σ=|q| must admit all %d graphs, got %d", len(f.db), len(results))
+	}
+	qg, _ := e.Query().Graph()
+	for _, r := range results {
+		if want := graph.SubgraphDistance(qg, f.db[r.GraphID]); r.Distance != want {
+			t.Fatalf("graph %d: distance %d, want %d", r.GraphID, r.Distance, want)
+		}
+	}
+	// Explain must work for the zero-overlap graphs too.
+	for _, r := range results {
+		m, err := e.Explain(r.GraphID)
+		if err != nil {
+			t.Fatalf("explain(%d): %v", r.GraphID, err)
+		}
+		if m.Distance != r.Distance {
+			t.Fatalf("explain distance %d vs result %d", m.Distance, r.Distance)
+		}
+		if m.Distance == qg.Size() && len(m.MatchedSteps) != 0 {
+			t.Fatal("zero-overlap match should have no matched steps")
+		}
+	}
+}
+
+// TestFrequentQueryVerificationFree pins the FG-Index property: a frequent
+// query fragment is answered straight from its FSG list, and that list must
+// equal brute-force containment.
+func TestFrequentQueryVerificationFree(t *testing.T) {
+	f := makeFixture(t, 62, 30, 0.2)
+	// Find a frequent 2-edge fragment from the index itself.
+	var frag *graph.Graph
+	for id := 0; id < f.idx.A2F.NumEntries(); id++ {
+		if f.idx.A2F.FragmentSize(id) == 2 {
+			frag = f.idx.A2F.Fragment(id)
+			break
+		}
+	}
+	if frag == nil {
+		t.Skip("no 2-edge frequent fragment in fixture")
+	}
+	e, err := New(f.db, f.idx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]int, frag.NumNodes())
+	for i := 0; i < frag.NumNodes(); i++ {
+		ids[i] = e.AddNode(frag.Label(i))
+	}
+	for _, ed := range frag.Edges() {
+		if _, err := e.AddLabeledEdge(ids[ed.U], ids[ed.V], frag.EdgeLabel(ed.U, ed.V)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tgt := e.Spigs().Target(e.Query())
+	if tgt == nil || tgt.Kind != index.KindFrequent {
+		t.Fatalf("sampled fragment not classified frequent (kind %v)", tgt.Kind)
+	}
+	results, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]bool{}
+	for _, g := range f.db {
+		if graph.SubgraphIsomorphic(frag, g) {
+			want[g.ID] = true
+		}
+	}
+	if len(results) != len(want) {
+		t.Fatalf("verification-free answer has %d results, brute force %d", len(results), len(want))
+	}
+	for _, r := range results {
+		if !want[r.GraphID] || r.Distance != 0 {
+			t.Fatalf("bad verification-free result %+v", r)
+		}
+	}
+}

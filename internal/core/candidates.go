@@ -1,0 +1,113 @@
+package core
+
+import (
+	"prague/internal/index"
+	"prague/internal/intset"
+	"prague/internal/spig"
+)
+
+// exactSubCandidates implements Algorithm 3 (ExactSubCandidates): the FSG
+// identifiers of the query fragment represented by SPIG vertex v — directly
+// from A²F/A²I when the fragment is indexed, otherwise the intersection of
+// the FSG ids of its indexed subgraphs (Φ ∪ Υ). Results are memoized per
+// vertex: in similarity mode Algorithm 4 revisits the same vertices after
+// every formulation step, and a vertex's fragment list never changes once
+// built (the memo is dropped on modification, when vertices can disappear).
+func (e *Engine) exactSubCandidates(v *spig.Vertex) []int {
+	if v == nil {
+		return nil
+	}
+	if ids, ok := e.candMemo[v]; ok {
+		return ids
+	}
+	ids := e.computeCandidates(v)
+	if e.candMemo == nil {
+		e.candMemo = map[*spig.Vertex][]int{}
+	}
+	e.candMemo[v] = ids
+	return ids
+}
+
+func (e *Engine) computeCandidates(v *spig.Vertex) []int {
+	switch v.Kind {
+	case index.KindFrequent:
+		return e.idx.A2F.FSGIds(v.FreqID)
+	case index.KindDIF:
+		return e.idx.A2I.FSGIds(v.DifID)
+	}
+	if len(v.Phi) == 0 && len(v.Ups) == 0 {
+		// A NIF with no indexed subgraph information at all. This cannot
+		// happen with the standard indexes (every single edge is frequent
+		// or a DIF, and Υ propagates), but a degraded index — e.g. the
+		// A²I-disabled ablation — can reach here. With no information, the
+		// sound candidate set is the whole database.
+		return e.allIds()
+	}
+	var rq []int
+	first := true
+	and := func(ids []int) {
+		if first {
+			rq = intset.Clone(ids)
+			first = false
+		} else {
+			rq = intset.Intersect(rq, ids)
+		}
+	}
+	// DIFs have the strongest pruning power; intersect them first so the
+	// running set shrinks early.
+	for _, id := range v.Ups {
+		and(e.idx.A2I.FSGIds(id))
+	}
+	for _, id := range v.Phi {
+		if len(rq) == 0 && !first {
+			break
+		}
+		and(e.idx.A2F.FSGIds(id))
+	}
+	return rq
+}
+
+// allIds returns (and caches) the identifier universe.
+func (e *Engine) allIds() []int {
+	if e.universe == nil {
+		e.universe = make([]int, len(e.db))
+		for i := range e.universe {
+			e.universe[i] = i
+		}
+	}
+	return e.universe
+}
+
+// similarSubCandidates implements Algorithm 4 (SimilarSubCandidates): for
+// each level i from |q|-1 down to |q|-σ, split the FSG candidates of the
+// level's SPIG vertices into verification-free candidates (vertices indexed
+// as frequent fragments or DIFs — the data graph provably contains the
+// level-i fragment, hence dist ≤ |q|-i) and candidates needing verification
+// (NIF vertices, whose candidate sets are only upper bounds).
+func (e *Engine) similarSubCandidates() (rfree, rver levelSets) {
+	rfree, rver = levelSets{}, levelSets{}
+	n := e.q.Size()
+	lo := n - e.sigma
+	if lo < 1 {
+		lo = 1
+	}
+	for i := n - 1; i >= lo; i-- {
+		var free, ver []int
+		for _, v := range e.spigs.LevelVertices(i) {
+			ids := e.exactSubCandidates(v)
+			if v.Kind == index.KindFrequent || v.Kind == index.KindDIF {
+				free = intset.Union(free, ids)
+			} else {
+				ver = intset.Union(ver, ids)
+			}
+		}
+		ver = intset.Diff(ver, free) // already verification-free at this level
+		if len(free) > 0 {
+			rfree[i] = free
+		}
+		if len(ver) > 0 {
+			rver[i] = ver
+		}
+	}
+	return rfree, rver
+}

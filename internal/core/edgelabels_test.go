@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+
+	"prague/internal/dataset"
+	"prague/internal/graph"
+	"prague/internal/index"
+	"prague/internal/mining"
+)
+
+// bondedFixture mines a bond-labeled molecule database.
+func bondedFixture(t *testing.T) ([]*graph.Graph, *index.Set) {
+	t.Helper()
+	db, err := dataset.Molecules(dataset.MoleculeOptions{
+		NumGraphs: 250, Seed: 91, MeanNodes: 12, MaxNodes: 40, BondLabels: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mining.Mine(db, mining.Options{MinSupportRatio: 0.1, MaxSize: 5, IncludeZeroSupportPairs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := index.Build(res, 0.1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, idx
+}
+
+func TestBondedContainmentMatchesBruteForce(t *testing.T) {
+	db, idx := bondedFixture(t)
+	e, err := New(db, idx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Draw a single-bonded C-C then a double-bonded C-C continuation.
+	a := e.AddNode("C")
+	b := e.AddNode("C")
+	c := e.AddNode("C")
+	if out, err := e.AddLabeledEdge(a, b, "1"); err != nil {
+		t.Fatal(err)
+	} else if out.NeedsChoice {
+		e.ChooseSimilarity()
+	}
+	if out, err := e.AddLabeledEdge(b, c, "2"); err != nil {
+		t.Fatal(err)
+	} else if out.NeedsChoice {
+		e.ChooseSimilarity()
+	}
+	results, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	qg, _ := e.Query().Graph()
+	if qg.EdgeLabel(0, 1) == qg.EdgeLabel(1, 2) {
+		t.Fatal("test premise: bonds must differ")
+	}
+	if e.SimilarityMode() {
+		want := 0
+		for _, g := range db {
+			if graph.SubgraphDistance(qg, g) <= 2 {
+				want++
+			}
+		}
+		if len(results) != want {
+			t.Fatalf("%d results, oracle %d", len(results), want)
+		}
+		return
+	}
+	want := map[int]bool{}
+	for _, g := range db {
+		if graph.SubgraphIsomorphic(qg, g) {
+			want[g.ID] = true
+		}
+	}
+	if len(results) != len(want) {
+		t.Fatalf("%d results, oracle %d", len(results), len(want))
+	}
+	for _, r := range results {
+		if !want[r.GraphID] {
+			t.Fatalf("false positive %d", r.GraphID)
+		}
+	}
+}
+
+func TestBondTypeChangesCandidates(t *testing.T) {
+	db, idx := bondedFixture(t)
+	counts := map[string]int{}
+	for _, bond := range []string{"1", "3"} {
+		e, err := New(db, idx, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := e.AddNode("C")
+		b := e.AddNode("C")
+		out, err := e.AddLabeledEdge(a, b, bond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[bond] = out.ExactCount
+	}
+	// Single C-C bonds are ubiquitous; triple C≡C bonds are rare (3% of
+	// edges) — the candidate sets must reflect that.
+	if counts["1"] <= counts["3"] {
+		t.Errorf("C-C single (%d candidates) should outnumber triple (%d)", counts["1"], counts["3"])
+	}
+}

@@ -1,0 +1,281 @@
+// Package core implements PRAGUE itself (the paper's Algorithm 1): the
+// blended query engine that evaluates the visual query fragment after every
+// GUI action, switching transparently between subgraph containment and
+// subgraph similarity search, and supporting cheap query modification via
+// the SPIG set.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"prague/internal/graph"
+	"prague/internal/index"
+	"prague/internal/intset"
+	"prague/internal/query"
+	"prague/internal/spig"
+)
+
+// Status mirrors the Status column of the paper's Figure 3: how the engine
+// currently classifies the query fragment.
+type Status int
+
+const (
+	// StatusEmpty: the query has no edges yet.
+	StatusEmpty Status = iota
+	// StatusFrequent: the fragment is a frequent fragment with exact matches.
+	StatusFrequent
+	// StatusInfrequent: the fragment is infrequent but still has exact matches.
+	StatusInfrequent
+	// StatusSimilar: the fragment has no exact match; similarity search is
+	// in effect (or being offered to the user).
+	StatusSimilar
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusFrequent:
+		return "frequent"
+	case StatusInfrequent:
+		return "infrequent"
+	case StatusSimilar:
+		return "similar"
+	default:
+		return "empty"
+	}
+}
+
+// Result is one query answer: a data graph and its subgraph distance to the
+// final query (0 for exact containment matches).
+type Result struct {
+	GraphID  int
+	Distance int
+}
+
+// StepOutcome reports what happened after a GUI action, including what the
+// engine precomputed during the step's latency window.
+type StepOutcome struct {
+	Step        int    // the edge's formulation step label ℓ (0 for deletions)
+	Status      Status // classification after this action
+	ExactCount  int    // |Rq| when in containment mode
+	FreeCount   int    // |Rfree| when in similarity mode
+	VerCount    int    // |Rver| when in similarity mode
+	NeedsChoice bool   // Rq just became empty: the GUI must offer Modify / SimQuery
+	SpigTime    time.Duration
+	EvalTime    time.Duration
+}
+
+// Engine is a PRAGUE session over one database + index set. It is not safe
+// for concurrent use: it models a single user's formulation session.
+type Engine struct {
+	db    []*graph.Graph // data graphs, indexed by identifier
+	idx   *index.Set
+	sigma int
+
+	q       *query.Query
+	spigs   *spig.Set
+	simFlag bool
+	pending bool // Rq empty in containment mode, awaiting the user's choice
+
+	rq            []int                  // exact candidates (containment mode)
+	rfree         levelSets              // verification-free candidates per level (similarity mode)
+	rver          levelSets              // to-verify candidates per level (similarity mode)
+	universe      []int                  // cached 0..|D|-1
+	candMemo      map[*spig.Vertex][]int // per-vertex Algorithm 3 results
+	verifyWorkers int                    // goroutines for the verification phases (≤1: inline)
+	stats         SessionStats
+}
+
+// levelSets maps SPIG level -> sorted candidate id set.
+type levelSets map[int][]int
+
+// SessionStats accumulates per-session measurements used by the experiments.
+type SessionStats struct {
+	SpigConstruction []time.Duration // per New action, in order
+	StepEvaluation   []time.Duration // candidate maintenance per New action
+	ModificationTime []time.Duration // per Modify action
+	RunTime          time.Duration   // the SRT: work done after Run is pressed
+}
+
+// New creates an engine for the given database, action-aware indexes, and
+// subgraph distance threshold σ.
+func New(db []*graph.Graph, idx *index.Set, sigma int) (*Engine, error) {
+	if sigma < 0 {
+		return nil, fmt.Errorf("core: negative σ")
+	}
+	for i, g := range db {
+		if g.ID != i {
+			return nil, fmt.Errorf("core: data graph at position %d has id %d (ids must be dense)", i, g.ID)
+		}
+	}
+	return &Engine{db: db, idx: idx, sigma: sigma, q: query.New(), spigs: spig.NewSet(idx)}, nil
+}
+
+// Sigma returns the engine's subgraph distance threshold.
+func (e *Engine) Sigma() int { return e.sigma }
+
+// Query returns the engine's evolving query (owned by the engine; callers
+// must mutate it only through engine methods).
+func (e *Engine) Query() *query.Query { return e.q }
+
+// Spigs exposes the SPIG set for inspection (experiments, debugging).
+func (e *Engine) Spigs() *spig.Set { return e.spigs }
+
+// Stats returns the accumulated session measurements.
+func (e *Engine) Stats() *SessionStats { return &e.stats }
+
+// SimilarityMode reports whether the session has degraded to substructure
+// similarity search.
+func (e *Engine) SimilarityMode() bool { return e.simFlag }
+
+// AwaitingChoice reports whether the last action left Rq empty in
+// containment mode, so the GUI must ask the user to Modify or continue as a
+// similarity query.
+func (e *Engine) AwaitingChoice() bool { return e.pending }
+
+// AddNode drops a labeled node on the canvas and returns its stable id.
+func (e *Engine) AddNode(label string) int { return e.q.AddNode(label) }
+
+// AddEdge handles the New action of Algorithm 1: draw an edge, construct
+// its SPIG (Algorithm 2), and refresh the candidate sets.
+func (e *Engine) AddEdge(u, v int) (StepOutcome, error) {
+	return e.AddLabeledEdge(u, v, "")
+}
+
+// AddLabeledEdge is AddEdge for an edge carrying an edge label (e.g. a bond
+// type). The paper presents its method for node-labeled graphs; edge labels
+// flow through canonical codes, indexes, and SPIGs unchanged.
+func (e *Engine) AddLabeledEdge(u, v int, label string) (StepOutcome, error) {
+	step, err := e.q.AddLabeledEdge(u, v, label)
+	if err != nil {
+		return StepOutcome{}, err
+	}
+	t0 := time.Now()
+	if _, err := e.spigs.Construct(e.q, step); err != nil {
+		return StepOutcome{}, err
+	}
+	spigTime := time.Since(t0)
+	e.stats.SpigConstruction = append(e.stats.SpigConstruction, spigTime)
+
+	t1 := time.Now()
+	out := e.refresh()
+	evalTime := time.Since(t1)
+	e.stats.StepEvaluation = append(e.stats.StepEvaluation, evalTime)
+
+	out.Step = step
+	out.SpigTime = spigTime
+	out.EvalTime = evalTime
+	return out, nil
+}
+
+// ChooseSimilarity handles the SimQuery action: the user elects to continue
+// formulating with approximate matching.
+func (e *Engine) ChooseSimilarity() StepOutcome {
+	e.simFlag = true
+	e.pending = false
+	out := e.refresh()
+	return out
+}
+
+// refresh recomputes candidate state after the query or mode changed.
+func (e *Engine) refresh() StepOutcome {
+	if e.q.Size() == 0 {
+		e.rq = nil
+		e.rfree, e.rver = nil, nil
+		return StepOutcome{Status: StatusEmpty}
+	}
+	if !e.simFlag {
+		target := e.spigs.Target(e.q)
+		e.rq = e.exactSubCandidates(target)
+		if len(e.rq) > 0 {
+			e.pending = false
+			status := StatusInfrequent
+			if target.Kind == index.KindFrequent {
+				status = StatusFrequent
+			}
+			return StepOutcome{Status: status, ExactCount: len(e.rq)}
+		}
+		// Rq became empty: precompute similarity candidates (Algorithm 1
+		// lines 7-10) and ask the user to choose.
+		e.pending = true
+		e.rfree, e.rver = e.similarSubCandidates()
+		return StepOutcome{
+			Status:      StatusSimilar,
+			NeedsChoice: true,
+			FreeCount:   countLevelSets(e.rfree),
+			VerCount:    countLevelSets(e.rver),
+		}
+	}
+	e.rfree, e.rver = e.similarSubCandidates()
+	return StepOutcome{
+		Status:    StatusSimilar,
+		FreeCount: countLevelSets(e.rfree),
+		VerCount:  countLevelSets(e.rver),
+	}
+}
+
+// Rq returns the current exact candidate set (containment mode).
+func (e *Engine) Rq() []int { return intset.Clone(e.rq) }
+
+// CandidateCounts reports |Rfree| and |Rver| (the union over levels) and
+// their union's size — the "candidate size" of the paper's Figures 9 and 10.
+func (e *Engine) CandidateCounts() (free, ver, total int) {
+	fu := flattenLevelSets(e.rfree)
+	vu := flattenLevelSets(e.rver)
+	return len(fu), len(vu), len(intset.Union(fu, vu))
+}
+
+// Run handles the Run action of Algorithm 1: finish evaluation and return
+// the (possibly approximate) ranked results. The elapsed work is the SRT.
+func (e *Engine) Run() ([]Result, error) {
+	if e.q.Size() == 0 {
+		return nil, fmt.Errorf("core: running an empty query")
+	}
+	t0 := time.Now()
+	defer func() { e.stats.RunTime = time.Since(t0) }()
+
+	qg, _ := e.q.Graph()
+	if !e.simFlag {
+		var results []Result
+		if target := e.spigs.Target(e.q); target != nil && target.Kind == index.KindFrequent {
+			// Verification-free answering (the FG-Index property the
+			// indexes inherit [2]): a frequent query fragment's FSG list
+			// *is* the exact answer set — no subgraph isomorphism needed.
+			results = make([]Result, 0, len(e.rq))
+			for _, id := range e.rq {
+				results = append(results, Result{GraphID: id, Distance: 0})
+			}
+		} else {
+			results = e.exactVerification(qg, e.rq)
+		}
+		if len(results) > 0 {
+			return results, nil
+		}
+		// No exact result after verification: fall back to similarity
+		// search (Algorithm 1 lines 19-21).
+		e.rfree, e.rver = e.similarSubCandidates()
+	}
+	return e.similarResultsGen(qg), nil
+}
+
+// exactVerification filters Rq by full subgraph isomorphism.
+func (e *Engine) exactVerification(qg *graph.Graph, rq []int) []Result {
+	matched := parallelFilter(rq, e.verifyWorkers, func(id int) bool {
+		return graph.SubgraphIsomorphic(qg, e.db[id])
+	})
+	out := make([]Result, 0, len(matched))
+	for _, id := range matched {
+		out = append(out, Result{GraphID: id, Distance: 0})
+	}
+	return out
+}
+
+func countLevelSets(ls levelSets) int { return len(flattenLevelSets(ls)) }
+
+func flattenLevelSets(ls levelSets) []int {
+	var all []int
+	for _, ids := range ls {
+		all = append(all, ids...)
+	}
+	return intset.Normalize(all)
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"prague/internal/graph"
+	"prague/internal/intset"
+)
+
+func TestExplainValidatesInput(t *testing.T) {
+	f := makeFixture(t, 41, 15, 0.3)
+	e, err := New(f.db, f.idx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Explain(0); err == nil {
+		t.Error("explain on empty query succeeded")
+	}
+	a := e.AddNode("C")
+	b := e.AddNode("C")
+	if out, _ := e.AddEdge(a, b); out.NeedsChoice {
+		e.ChooseSimilarity()
+	}
+	if _, err := e.Explain(-1); err == nil {
+		t.Error("negative graph id accepted")
+	}
+	if _, err := e.Explain(len(f.db)); err == nil {
+		t.Error("out-of-range graph id accepted")
+	}
+}
+
+func TestExplainConsistentWithResults(t *testing.T) {
+	f := makeFixture(t, 42, 35, 0.25)
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 6; trial++ {
+		spec := randomQuerySpec(r, []string{"C", "N", "O"}, 4+r.Intn(2))
+		e, err := New(f.db, f.idx, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		formulate(t, e, spec)
+		results, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		allSteps := e.Query().Steps()
+		for ri, res := range results {
+			if ri >= 10 {
+				break // bounded per trial
+			}
+			m, err := e.Explain(res.GraphID)
+			if err != nil {
+				t.Fatalf("trial %d: explain(%d): %v", trial, res.GraphID, err)
+			}
+			// The explanation's distance must match the result's (both are
+			// the exact subgraph distance, capped by σ semantics).
+			if m.Distance != res.Distance {
+				t.Fatalf("trial %d graph %d: explain distance %d, result %d",
+					trial, res.GraphID, m.Distance, res.Distance)
+			}
+			// Matched + missing = all query steps, disjoint.
+			union := intset.Union(m.MatchedSteps, m.MissingSteps)
+			if !intset.Equal(union, allSteps) {
+				t.Fatalf("trial %d: matched∪missing=%v, steps=%v", trial, union, allSteps)
+			}
+			if len(intset.Intersect(m.MatchedSteps, m.MissingSteps)) != 0 {
+				t.Fatal("matched and missing overlap")
+			}
+			if len(m.MissingSteps) != m.Distance {
+				t.Fatalf("trial %d: %d missing edges but distance %d", trial, len(m.MissingSteps), m.Distance)
+			}
+			// The node map must realize a label- and edge-preserving
+			// embedding of the matched fragment.
+			validateNodeMap(t, e, m, f.db[res.GraphID])
+		}
+	}
+}
+
+func validateNodeMap(t *testing.T, e *Engine, m *Match, g *graph.Graph) {
+	t.Helper()
+	seen := map[int]bool{}
+	for stableID, dataNode := range m.NodeMap {
+		if e.Query().NodeLabel(stableID) != g.Label(dataNode) {
+			t.Fatal("node map violates labels")
+		}
+		if seen[dataNode] {
+			t.Fatal("node map not injective")
+		}
+		seen[dataNode] = true
+	}
+	for _, s := range m.MatchedSteps {
+		qe, ok := e.Query().Edge(s)
+		if !ok {
+			t.Fatalf("matched step %d not in query", s)
+		}
+		du, okU := m.NodeMap[qe.A]
+		dv, okV := m.NodeMap[qe.B]
+		if !okU || !okV {
+			t.Fatal("matched edge endpoint unmapped")
+		}
+		if !g.HasEdge(du, dv) {
+			t.Fatal("matched edge not present in data graph")
+		}
+		if qe.Label != g.EdgeLabel(du, dv) {
+			t.Fatal("matched edge label mismatch")
+		}
+	}
+}
+
+func TestExplainRejectsFarGraphs(t *testing.T) {
+	f := makeFixture(t, 43, 30, 0.25)
+	e, err := New(f.db, f.idx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An exotic query far from everything: S-S-S chain.
+	a := e.AddNode("S")
+	b := e.AddNode("S")
+	c := e.AddNode("S")
+	for _, ed := range [][2]int{{a, b}, {b, c}} {
+		if out, err := e.AddEdge(ed[0], ed[1]); err != nil {
+			t.Fatal(err)
+		} else if out.NeedsChoice {
+			e.ChooseSimilarity()
+		}
+	}
+	qg, _ := e.Query().Graph()
+	for _, g := range f.db {
+		d := graph.SubgraphDistance(qg, g)
+		_, err := e.Explain(g.ID)
+		if d <= 1 && err != nil {
+			t.Fatalf("graph %d at distance %d not explained: %v", g.ID, d, err)
+		}
+		if d > 1 && err == nil {
+			t.Fatalf("graph %d at distance %d explained despite σ=1", g.ID, d)
+		}
+	}
+}

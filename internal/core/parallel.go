@@ -1,0 +1,56 @@
+package core
+
+import "sync"
+
+// SetVerifyWorkers sets the number of goroutines used by the verification
+// phases (exact subgraph isomorphism over Rq and SimVerify over Rver).
+// Values ≤ 1 mean sequential verification (the default). The paper points
+// out its verifier is deliberately replaceable; parallel verification is the
+// cheapest such replacement and leaves results bit-identical.
+func (e *Engine) SetVerifyWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	e.verifyWorkers = n
+}
+
+// parallelFilter returns the ids for which pred holds, preserving input
+// order. With workers ≤ 1 it runs inline.
+func parallelFilter(ids []int, workers int, pred func(id int) bool) []int {
+	if len(ids) == 0 {
+		return nil
+	}
+	if workers <= 1 || len(ids) < 2*workers {
+		var out []int
+		for _, id := range ids {
+			if pred(id) {
+				out = append(out, id)
+			}
+		}
+		return out
+	}
+	keep := make([]bool, len(ids))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				keep[i] = pred(ids[i])
+			}
+		}()
+	}
+	for i := range ids {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	var out []int
+	for i, k := range keep {
+		if k {
+			out = append(out, ids[i])
+		}
+	}
+	return out
+}

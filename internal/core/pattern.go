@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+
+	"prague/internal/graph"
+)
+
+// AddPattern drops a canned pattern (e.g. a benzene ring) onto the canvas in
+// one gesture — the domain-dependent GUI extension the paper's §I footnote
+// sets aside. Internally it remains edge-at-a-time: each pattern edge is
+// drawn in an order that keeps the query connected, and gets its own SPIG,
+// so all blending guarantees carry over unchanged.
+//
+// attach maps pattern node indices to existing canvas node ids; pattern
+// nodes not in attach become new canvas nodes (their ids are returned,
+// indexed like the pattern's nodes). A non-empty query requires at least one
+// attachment point, and attached nodes must carry the same label.
+func (e *Engine) AddPattern(p *graph.Graph, attach map[int]int) ([]int, StepOutcome, error) {
+	if p == nil || p.Size() == 0 || !p.Connected() {
+		return nil, StepOutcome{}, fmt.Errorf("core: pattern must be a connected graph with at least one edge")
+	}
+	if e.q.Size() > 0 && len(attach) == 0 {
+		return nil, StepOutcome{}, fmt.Errorf("core: pattern needs an attachment point on a non-empty query")
+	}
+	for pv, qv := range attach {
+		if pv < 0 || pv >= p.NumNodes() {
+			return nil, StepOutcome{}, fmt.Errorf("core: attach refers to pattern node %d (pattern has %d)", pv, p.NumNodes())
+		}
+		if got := e.q.NodeLabel(qv); got != p.Label(pv) {
+			return nil, StepOutcome{}, fmt.Errorf("core: attach label mismatch at pattern node %d: %q vs %q", pv, p.Label(pv), got)
+		}
+	}
+
+	// Map pattern nodes to canvas ids, creating the new ones.
+	ids := make([]int, p.NumNodes())
+	for i := range ids {
+		if qv, ok := attach[i]; ok {
+			ids[i] = qv
+		} else {
+			ids[i] = e.q.AddNode(p.Label(i))
+		}
+	}
+
+	// Order the pattern's edges so each prefix stays connected to the
+	// existing fragment (seeded at the attachment points when present).
+	inFrag := map[int]bool{}
+	for pv := range attach {
+		inFrag[pv] = true
+	}
+	seedless := len(inFrag) == 0
+	used := make([]bool, p.NumEdges())
+	var last StepOutcome
+	for drawn := 0; drawn < p.NumEdges(); {
+		progressed := false
+		for i, ed := range p.Edges() {
+			if used[i] {
+				continue
+			}
+			if !seedless && !inFrag[ed.U] && !inFrag[ed.V] {
+				continue
+			}
+			out, err := e.AddLabeledEdge(ids[ed.U], ids[ed.V], p.EdgeLabel(ed.U, ed.V))
+			if err != nil {
+				return nil, StepOutcome{}, fmt.Errorf("core: drawing pattern edge {%d,%d}: %w", ed.U, ed.V, err)
+			}
+			used[i] = true
+			inFrag[ed.U], inFrag[ed.V] = true, true
+			seedless = false
+			last = out
+			drawn++
+			progressed = true
+			break
+		}
+		if !progressed {
+			return nil, StepOutcome{}, fmt.Errorf("core: pattern edges could not be ordered connectedly")
+		}
+	}
+	return ids, last, nil
+}

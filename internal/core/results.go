@@ -1,0 +1,109 @@
+package core
+
+import (
+	"sort"
+
+	"prague/internal/graph"
+	"prague/internal/intset"
+)
+
+// similarResultsGen implements Algorithm 5 (SimilarResultsGen): produce the
+// approximate result set ordered by subgraph distance. Levels are processed
+// from |q|-1 (distance 1) downward, so the first level at which a graph is
+// confirmed gives its exact distance; verification-free candidates are
+// accepted outright, while Rver candidates are verified by checking whether
+// the data graph embeds any of the query's level-i fragment classes (the
+// SimVerify procedure — VF2 extended to MCCS threshold checking).
+//
+// Refinement over the paper's presentation: when the engine is already in
+// similarity mode, data graphs that contain the whole query exactly are
+// reported with distance 0 (Definition 3 includes them), rather than
+// distance 1.
+func (e *Engine) similarResultsGen(qg *graph.Graph) []Result {
+	n := e.q.Size()
+	assigned := map[int]int{} // graph id -> distance
+
+	// Distance-0 pass (only meaningful in similarity mode; in containment
+	// mode Run already returned when exact results existed).
+	if target := e.spigs.Target(e.q); target != nil {
+		exact := parallelFilter(e.exactSubCandidates(target), e.verifyWorkers, func(id int) bool {
+			return graph.SubgraphIsomorphic(qg, e.db[id])
+		})
+		for _, id := range exact {
+			assigned[id] = 0
+		}
+	}
+
+	lo := n - e.sigma
+	if lo < 1 {
+		lo = 1
+	}
+	for i := n - 1; i >= lo; i-- {
+		dist := n - i
+		for _, id := range e.rfree[i] {
+			if _, done := assigned[id]; !done {
+				assigned[id] = dist
+			}
+		}
+		// Rver(i) minus everything already confirmed (Algorithm 5 line 3).
+		pending := intset.Diff(e.rver[i], keysSorted(assigned))
+		frags := e.levelFragments(i)
+		confirmed := parallelFilter(pending, e.verifyWorkers, func(id int) bool {
+			return containsAnyFragment(frags, e.db[id])
+		})
+		for _, id := range confirmed {
+			assigned[id] = dist
+		}
+	}
+
+	// σ ≥ |q| admits graphs sharing nothing with the query: by Definition 2
+	// their distance is exactly |q| (δ = 0). They form the trailing band of
+	// the ranking.
+	if e.sigma >= n {
+		for id := range e.db {
+			if _, done := assigned[id]; !done {
+				assigned[id] = n
+			}
+		}
+	}
+
+	results := make([]Result, 0, len(assigned))
+	for id, d := range assigned {
+		results = append(results, Result{GraphID: id, Distance: d})
+	}
+	sort.Slice(results, func(a, b int) bool {
+		if results[a].Distance != results[b].Distance {
+			return results[a].Distance < results[b].Distance
+		}
+		return results[a].GraphID < results[b].GraphID
+	})
+	return results
+}
+
+// levelFragments collects the fragment classes at SPIG level i — exactly the
+// connected i-edge subgraphs of the current query.
+func (e *Engine) levelFragments(i int) []*graph.Graph {
+	var frags []*graph.Graph
+	for _, v := range e.spigs.LevelVertices(i) {
+		frags = append(frags, v.Frag)
+	}
+	return frags
+}
+
+func containsAnyFragment(frags []*graph.Graph, g *graph.Graph) bool {
+	for _, f := range frags {
+		if graph.SubgraphIsomorphic(f, g) {
+			return true
+		}
+	}
+	return false
+}
+
+func keysSorted(m map[int]int) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

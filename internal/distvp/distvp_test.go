@@ -1,0 +1,185 @@
+package distvp
+
+import (
+	"math/rand"
+	"testing"
+
+	"prague/internal/feature"
+	"prague/internal/graph"
+	"prague/internal/mining"
+)
+
+func fixture(t *testing.T, seed int64, n int) ([]*graph.Graph, *feature.Index) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	labels := []string{"C", "C", "C", "N", "O"}
+	var db []*graph.Graph
+	for i := 0; i < n; i++ {
+		nodes := 4 + r.Intn(5)
+		g := graph.New(i)
+		for v := 0; v < nodes; v++ {
+			g.AddNode(labels[r.Intn(len(labels))])
+		}
+		for v := 1; v < nodes; v++ {
+			g.MustAddEdge(v, r.Intn(v))
+		}
+		for k := 0; k < r.Intn(2); k++ {
+			u, v := r.Intn(nodes), r.Intn(nodes)
+			if u != v && !g.HasEdge(u, v) {
+				g.MustAddEdge(u, v)
+			}
+		}
+		db = append(db, g)
+	}
+	res, err := mining.Mine(db, mining.Options{MinSupportRatio: 0.2, MaxSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fidx, err := feature.Build(db, res, feature.Options{MaxFeatureSize: 3, CountCap: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, fidx
+}
+
+func randomQuery(r *rand.Rand, labels []string, nEdges int) *graph.Graph {
+	q := graph.New(-1)
+	q.AddNode(labels[r.Intn(len(labels))])
+	q.AddNode(labels[r.Intn(len(labels))])
+	q.MustAddEdge(0, 1)
+	for q.NumEdges() < nEdges {
+		if r.Intn(3) > 0 || q.NumNodes() < 3 {
+			a := r.Intn(q.NumNodes())
+			v := q.AddNode(labels[r.Intn(len(labels))])
+			q.MustAddEdge(a, v)
+		} else {
+			a, b := r.Intn(q.NumNodes()), r.Intn(q.NumNodes())
+			if a != b && !q.HasEdge(a, b) {
+				q.MustAddEdge(a, b)
+			}
+		}
+	}
+	return q
+}
+
+func TestValidation(t *testing.T) {
+	db, fidx := fixture(t, 1, 10)
+	if _, err := New(db, fidx, 0); err == nil {
+		t.Error("maxSigma=0 accepted")
+	}
+	if _, err := New(db[:2], fidx, 1); err == nil {
+		t.Error("mismatched db accepted")
+	}
+	e, err := New(db, fidx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Candidates(randomQuery(rand.New(rand.NewSource(1)), []string{"C"}, 2), 3); err == nil {
+		t.Error("σ beyond index depth accepted")
+	}
+	if _, _, err := e.Query(nil, 1); err == nil {
+		t.Error("nil query accepted")
+	}
+}
+
+func TestRelaxedListsAreSound(t *testing.T) {
+	// relaxed[σ'][f] must contain every graph within distance σ' of
+	// containing f.
+	db, fidx := fixture(t, 2, 20)
+	e, err := New(db, fidx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s <= 2; s++ {
+		for fi, f := range fidx.Features {
+			set := map[int]bool{}
+			for _, id := range e.relaxed[s][fi] {
+				set[id] = true
+			}
+			for _, g := range db {
+				if graph.SubgraphDistance(f, g) <= s && !set[g.ID] {
+					t.Fatalf("σ'=%d feature %d: missing graph %d", s, fi, g.ID)
+				}
+			}
+		}
+	}
+}
+
+func TestFilterIsSound(t *testing.T) {
+	db, fidx := fixture(t, 3, 25)
+	e, err := New(db, fidx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(3))
+	labels := []string{"C", "N", "O"}
+	for trial := 0; trial < 12; trial++ {
+		q := randomQuery(r, labels, 3+r.Intn(3))
+		sigma := 1 + r.Intn(2)
+		cands, err := e.Candidates(q, sigma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		set := map[int]bool{}
+		for _, id := range cands {
+			set[id] = true
+		}
+		for _, g := range db {
+			if graph.SubgraphDistance(q, g) <= sigma && !set[g.ID] {
+				t.Fatalf("trial %d: pruned true answer %d", trial, g.ID)
+			}
+		}
+	}
+}
+
+func TestQueryMatchesOracle(t *testing.T) {
+	db, fidx := fixture(t, 4, 25)
+	e, err := New(db, fidx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(4))
+	labels := []string{"C", "N", "O"}
+	for trial := 0; trial < 8; trial++ {
+		q := randomQuery(r, labels, 3+r.Intn(2))
+		sigma := 1 + r.Intn(2)
+		results, _, err := e.Query(q, sigma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := map[int]int{}
+		for _, g := range db {
+			if d := graph.SubgraphDistance(q, g); d <= sigma {
+				want[g.ID] = d
+			}
+		}
+		if len(results) != len(want) {
+			t.Fatalf("trial %d: %d results, want %d", trial, len(results), len(want))
+		}
+		for _, res := range results {
+			if want[res.GraphID] != res.Distance {
+				t.Fatalf("trial %d: graph %d distance mismatch", trial, res.GraphID)
+			}
+		}
+	}
+}
+
+func TestIndexSizeGrowsWithSigma(t *testing.T) {
+	// The defining cost of DistVP in Table II: the index grows with σ.
+	db, fidx := fixture(t, 5, 20)
+	var prev int64
+	for s := 1; s <= 3; s++ {
+		e, err := New(db, fidx, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		size := e.IndexSizeBytes()
+		if size <= prev {
+			t.Fatalf("index size did not grow: σ=%d size=%d prev=%d", s, size, prev)
+		}
+		prev = size
+		if e.MaxSigma() != s {
+			t.Error("MaxSigma mismatch")
+		}
+	}
+}

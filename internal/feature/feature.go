@@ -1,0 +1,181 @@
+// Package feature provides the feature-based filtering substrate shared by
+// the traditional-paradigm similarity baselines the paper compares against
+// (Grafil [12], SIGMA [8], DistVP [11]): a set of small structural features
+// with per-data-graph embedding counts and containment identifier lists.
+package feature
+
+import (
+	"fmt"
+	"sort"
+
+	"prague/internal/graph"
+	"prague/internal/mining"
+)
+
+// Index holds the feature set and the feature-graph count matrix.
+type Index struct {
+	Features []*graph.Graph
+	Codes    []string
+	ByCode   map[string]int
+	// Counts[g][f] = number of embeddings of feature f in data graph g,
+	// capped at CountCap (Grafil-style occurrence counting).
+	Counts   [][]uint16
+	CountCap int
+	MaxSize  int
+}
+
+// Options configures feature selection.
+type Options struct {
+	// MaxFeatureSize bounds feature size in edges (Grafil and SIGMA use
+	// small features; default 3).
+	MaxFeatureSize int
+	// CountCap caps per-graph embedding counts (default 64); counting
+	// embeddings exactly in dense graphs is wasted work for a filter.
+	CountCap int
+}
+
+// Build selects features from the mined frequent fragments (all frequent
+// fragments up to MaxFeatureSize, plus every single-edge label pair seen in
+// the database so rare edges still discriminate) and counts their embeddings
+// in every data graph.
+func Build(db []*graph.Graph, mined *mining.Result, opt Options) (*Index, error) {
+	if len(db) == 0 {
+		return nil, fmt.Errorf("feature: empty database")
+	}
+	maxSize := opt.MaxFeatureSize
+	if maxSize == 0 {
+		maxSize = 3
+	}
+	cap16 := opt.CountCap
+	if cap16 == 0 {
+		cap16 = 64
+	}
+	if cap16 > 65535 {
+		return nil, fmt.Errorf("feature: CountCap %d exceeds uint16", cap16)
+	}
+
+	idx := &Index{ByCode: map[string]int{}, CountCap: cap16, MaxSize: maxSize}
+	add := func(g *graph.Graph, code string) {
+		if _, ok := idx.ByCode[code]; ok {
+			return
+		}
+		idx.ByCode[code] = len(idx.Features)
+		idx.Features = append(idx.Features, g)
+		idx.Codes = append(idx.Codes, code)
+	}
+	for _, f := range mined.Frequent {
+		if f.Size() <= maxSize {
+			add(f.Graph, f.Code)
+		}
+	}
+	// Single-edge label triples present in the data but infrequent.
+	seen := map[string]*graph.Graph{}
+	for _, g := range db {
+		for i, e := range g.Edges() {
+			la, lb := g.LabelPair(e)
+			eg := graph.New(-1)
+			eg.AddNode(la)
+			eg.AddNode(lb)
+			if err := eg.AddLabeledEdge(0, 1, g.EdgeLabelAt(i)); err != nil {
+				return nil, err
+			}
+			code := graph.CanonicalCode(eg)
+			if _, ok := seen[code]; !ok {
+				seen[code] = eg
+			}
+		}
+	}
+	var codes []string
+	for code := range seen {
+		codes = append(codes, code)
+	}
+	sort.Strings(codes)
+	for _, code := range codes {
+		add(seen[code], code)
+	}
+
+	idx.Counts = make([][]uint16, len(db))
+	for gi, g := range db {
+		row := make([]uint16, len(idx.Features))
+		for fi, f := range idx.Features {
+			row[fi] = uint16(graph.CountEmbeddings(f, g, cap16))
+		}
+		idx.Counts[gi] = row
+	}
+	return idx, nil
+}
+
+// NumFeatures returns the feature count.
+func (x *Index) NumFeatures() int { return len(x.Features) }
+
+// Count returns the (capped) embedding count of feature f in graph g.
+func (x *Index) Count(g, f int) int { return int(x.Counts[g][f]) }
+
+// ContainmentIds returns the sorted ids of data graphs containing feature f.
+func (x *Index) ContainmentIds(f int) []int {
+	var ids []int
+	for g := range x.Counts {
+		if x.Counts[g][f] > 0 {
+			ids = append(ids, g)
+		}
+	}
+	return ids
+}
+
+// QueryProfile describes a query with respect to the feature set: per
+// feature, the embedding count in the query, and per query edge, how many
+// embeddings of each feature cover it (the edge-feature matrix of Grafil).
+type QueryProfile struct {
+	Query      *graph.Graph
+	Counts     []int   // feature -> count in query
+	EdgeCover  [][]int // query edge index -> feature -> embeddings covering it
+	ActiveFeat []int   // features with Counts > 0
+}
+
+// Profile computes the query's feature profile. Embeddings are enumerated
+// exactly (queries are small).
+func (x *Index) Profile(q *graph.Graph) *QueryProfile {
+	p := &QueryProfile{
+		Query:     q,
+		Counts:    make([]int, len(x.Features)),
+		EdgeCover: make([][]int, q.NumEdges()),
+	}
+	for e := range p.EdgeCover {
+		p.EdgeCover[e] = make([]int, len(x.Features))
+	}
+	edgeIdx := map[graph.Edge]int{}
+	for i, e := range q.Edges() {
+		edgeIdx[e] = i
+	}
+	for fi, f := range x.Features {
+		embeddings := enumerateEmbeddings(f, q, 0)
+		p.Counts[fi] = len(embeddings)
+		if len(embeddings) > 0 {
+			p.ActiveFeat = append(p.ActiveFeat, fi)
+		}
+		for _, m := range embeddings {
+			for _, fe := range f.Edges() {
+				qe := normEdge(m[fe.U], m[fe.V])
+				p.EdgeCover[edgeIdx[qe]][fi]++
+			}
+		}
+	}
+	return p
+}
+
+// enumerateEmbeddings lists up to limit embeddings of f into g as node maps.
+func enumerateEmbeddings(f, g *graph.Graph, limit int) [][]int {
+	var out [][]int
+	graph.ForEachEmbedding(f, g, func(core []int) bool {
+		out = append(out, append([]int(nil), core...))
+		return limit > 0 && len(out) >= limit
+	})
+	return out
+}
+
+func normEdge(u, v int) graph.Edge {
+	if u > v {
+		u, v = v, u
+	}
+	return graph.Edge{U: u, V: v}
+}

@@ -1,0 +1,156 @@
+package feature
+
+import (
+	"math/rand"
+	"testing"
+
+	"prague/internal/graph"
+	"prague/internal/mining"
+)
+
+func fixtureDB(seed int64, n int) []*graph.Graph {
+	r := rand.New(rand.NewSource(seed))
+	labels := []string{"C", "C", "C", "N", "O"}
+	var db []*graph.Graph
+	for i := 0; i < n; i++ {
+		nodes := 4 + r.Intn(5)
+		g := graph.New(i)
+		for v := 0; v < nodes; v++ {
+			g.AddNode(labels[r.Intn(len(labels))])
+		}
+		for v := 1; v < nodes; v++ {
+			g.MustAddEdge(v, r.Intn(v))
+		}
+		for k := 0; k < r.Intn(2); k++ {
+			u, v := r.Intn(nodes), r.Intn(nodes)
+			if u != v && !g.HasEdge(u, v) {
+				g.MustAddEdge(u, v)
+			}
+		}
+		db = append(db, g)
+	}
+	return db
+}
+
+func buildIndex(t *testing.T, db []*graph.Graph) *Index {
+	t.Helper()
+	res, err := mining.Mine(db, mining.Options{MinSupportRatio: 0.2, MaxSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := Build(db, res, Options{MaxFeatureSize: 3, CountCap: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx
+}
+
+func TestBuildValidation(t *testing.T) {
+	db := fixtureDB(1, 5)
+	res, err := mining.Mine(db, mining.Options{MinSupportRatio: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(nil, res, Options{}); err == nil {
+		t.Error("empty database accepted")
+	}
+	if _, err := Build(db, res, Options{CountCap: 1 << 20}); err == nil {
+		t.Error("oversized CountCap accepted")
+	}
+}
+
+func TestCountsMatchVF2(t *testing.T) {
+	db := fixtureDB(2, 15)
+	idx := buildIndex(t, db)
+	if idx.NumFeatures() == 0 {
+		t.Fatal("no features selected")
+	}
+	for gi, g := range db {
+		for fi, f := range idx.Features {
+			want := graph.CountEmbeddings(f, g, idx.CountCap)
+			if got := idx.Count(gi, fi); got != want {
+				t.Fatalf("graph %d feature %d: count %d, want %d", gi, fi, got, want)
+			}
+		}
+	}
+}
+
+func TestFeatureSizeBound(t *testing.T) {
+	db := fixtureDB(3, 15)
+	idx := buildIndex(t, db)
+	for _, f := range idx.Features {
+		if f.Size() > idx.MaxSize {
+			t.Errorf("feature of size %d exceeds bound %d", f.Size(), idx.MaxSize)
+		}
+	}
+}
+
+func TestAllEdgePairsCovered(t *testing.T) {
+	db := fixtureDB(4, 15)
+	idx := buildIndex(t, db)
+	for _, g := range db {
+		for _, e := range g.Edges() {
+			la, lb := g.LabelPair(e)
+			eg := graph.New(-1)
+			eg.AddNode(la)
+			eg.AddNode(lb)
+			eg.MustAddEdge(0, 1)
+			if _, ok := idx.ByCode[graph.CanonicalCode(eg)]; !ok {
+				t.Fatalf("label pair %s-%s not a feature", la, lb)
+			}
+		}
+	}
+}
+
+func TestContainmentIds(t *testing.T) {
+	db := fixtureDB(5, 15)
+	idx := buildIndex(t, db)
+	for fi, f := range idx.Features {
+		ids := idx.ContainmentIds(fi)
+		set := map[int]bool{}
+		for _, id := range ids {
+			set[id] = true
+		}
+		for gid, g := range db {
+			if got, want := set[gid], graph.SubgraphIsomorphic(f, g); got != want {
+				t.Fatalf("feature %d graph %d: containment %v, want %v", fi, gid, got, want)
+			}
+		}
+	}
+}
+
+func TestProfileEdgeCoverConsistency(t *testing.T) {
+	db := fixtureDB(6, 15)
+	idx := buildIndex(t, db)
+	// Query: a small path with a branch.
+	q := graph.New(-1)
+	n := []int{q.AddNode("C"), q.AddNode("C"), q.AddNode("N"), q.AddNode("C")}
+	q.MustAddEdge(n[0], n[1])
+	q.MustAddEdge(n[1], n[2])
+	q.MustAddEdge(n[1], n[3])
+	p := idx.Profile(q)
+	// Sum over edges of EdgeCover[e][f] must equal Counts[f] * |f| (every
+	// embedding covers |f| query edges).
+	for _, fi := range p.ActiveFeat {
+		total := 0
+		for ei := range p.EdgeCover {
+			total += p.EdgeCover[ei][fi]
+		}
+		want := p.Counts[fi] * idx.Features[fi].Size()
+		if total != want {
+			t.Fatalf("feature %d: edge cover total %d, want %d", fi, total, want)
+		}
+	}
+	// ActiveFeat lists exactly the features with positive counts.
+	for fi := range idx.Features {
+		active := false
+		for _, a := range p.ActiveFeat {
+			if a == fi {
+				active = true
+			}
+		}
+		if active != (p.Counts[fi] > 0) {
+			t.Fatalf("feature %d: active=%v counts=%d", fi, active, p.Counts[fi])
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package feature
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+
+	"prague/internal/graph"
+)
+
+// Persistence for the baseline feature index: building the count matrix is
+// the expensive part of the GR/SG setup (one VF2 count per graph × feature),
+// so experiment reruns load it from disk.
+
+type wireIndex struct {
+	Features []*graph.Graph
+	Codes    []string
+	Counts   [][]uint16
+	CountCap int
+	MaxSize  int
+}
+
+// Save writes the index to path with gob encoding.
+func (x *Index) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := wireIndex{
+		Features: x.Features, Codes: x.Codes, Counts: x.Counts,
+		CountCap: x.CountCap, MaxSize: x.MaxSize,
+	}
+	if err := gob.NewEncoder(f).Encode(w); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads an index written by Save.
+func Load(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var w wireIndex
+	if err := gob.NewDecoder(f).Decode(&w); err != nil {
+		return nil, err
+	}
+	if len(w.Features) != len(w.Codes) {
+		return nil, fmt.Errorf("feature: corrupt index: %d features, %d codes", len(w.Features), len(w.Codes))
+	}
+	x := &Index{
+		Features: w.Features, Codes: w.Codes, Counts: w.Counts,
+		CountCap: w.CountCap, MaxSize: w.MaxSize,
+		ByCode: make(map[string]int, len(w.Codes)),
+	}
+	for i, code := range w.Codes {
+		x.ByCode[code] = i
+	}
+	return x, nil
+}

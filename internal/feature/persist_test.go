@@ -1,0 +1,48 @@
+package feature
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	db := fixtureDB(9, 15)
+	idx := buildIndex(t, db)
+	path := filepath.Join(t.TempDir(), "features.gob")
+	if err := idx.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumFeatures() != idx.NumFeatures() || loaded.CountCap != idx.CountCap || loaded.MaxSize != idx.MaxSize {
+		t.Fatal("metadata changed")
+	}
+	for gi := range idx.Counts {
+		for fi := range idx.Counts[gi] {
+			if loaded.Count(gi, fi) != idx.Count(gi, fi) {
+				t.Fatalf("count[%d][%d] changed", gi, fi)
+			}
+		}
+	}
+	for code, fi := range idx.ByCode {
+		if loaded.ByCode[code] != fi {
+			t.Fatalf("code map changed for %s", code)
+		}
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.gob")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.gob")
+	if err := os.WriteFile(bad, []byte("not gob"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil {
+		t.Error("corrupt file accepted")
+	}
+}

@@ -1,0 +1,57 @@
+package gblender
+
+import (
+	"testing"
+
+	"prague/internal/dataset"
+	"prague/internal/graph"
+	"prague/internal/index"
+	"prague/internal/intset"
+	"prague/internal/mining"
+)
+
+// TestBondedContainment checks GBLENDER answers edge-labeled containment
+// queries correctly (labels flow through its fragment decomposition).
+func TestBondedContainment(t *testing.T) {
+	db, err := dataset.Molecules(dataset.MoleculeOptions{
+		NumGraphs: 200, Seed: 17, MeanNodes: 10, MaxNodes: 30, BondLabels: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mining.Mine(db, mining.Options{MinSupportRatio: 0.1, MaxSize: 4, IncludeZeroSupportPairs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := index.Build(res, 0.1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := New(db, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := e2.AddNode("C")
+	b := e2.AddNode("C")
+	c := e2.AddNode("C")
+	if _, err := e2.AddLabeledEdge(a, b, "1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e2.AddLabeledEdge(b, c, "2"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := e2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	qg, _ := e2.Query().Graph()
+	var want []int
+	for _, g := range db {
+		if graph.SubgraphIsomorphic(qg, g) {
+			want = append(want, g.ID)
+		}
+	}
+	if !intset.Equal(got, want) {
+		t.Fatalf("bonded containment: got %v want %v", got, want)
+	}
+}

@@ -1,0 +1,100 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCAMIsomorphismInvariance(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	labels := []string{"C", "N", "O", "S"}
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + r.Intn(7)
+		g := randomConnected(r, n, labels, r.Intn(4))
+		h, err := g.Permute(randomPerm(r, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if CAMCode(g) != CAMCode(h) {
+			t.Fatalf("trial %d: isomorphic graphs got different CAM codes\n g=%v\n h=%v", trial, g, h)
+		}
+	}
+}
+
+// TestCAMAgreesWithMinDFSCode is the cross-validation of the two complete
+// canonical forms: they must induce exactly the same equivalence classes.
+func TestCAMAgreesWithMinDFSCode(t *testing.T) {
+	r := rand.New(rand.NewSource(67))
+	labels := []string{"C", "N"}
+	for trial := 0; trial < 400; trial++ {
+		g := randomConnected(r, 2+r.Intn(6), labels, r.Intn(3))
+		h := randomConnected(r, 2+r.Intn(6), labels, r.Intn(3))
+		camEq := CAMCode(g) == CAMCode(h)
+		dfsEq := CanonicalCode(g) == CanonicalCode(h)
+		if camEq != dfsEq {
+			t.Fatalf("trial %d: CAM equality %v but DFS-code equality %v\n g=%v\n h=%v",
+				trial, camEq, dfsEq, g, h)
+		}
+	}
+}
+
+func TestCAMQuickProperty(t *testing.T) {
+	// testing/quick drives random graph shapes + permutations: permuting
+	// never changes the CAM code, and flipping one node label always does.
+	type seedPair struct {
+		Seed  int64
+		Perm  int64
+		Which uint8
+	}
+	f := func(sp seedPair) bool {
+		r := rand.New(rand.NewSource(sp.Seed))
+		labels := []string{"C", "N", "O"}
+		n := 2 + r.Intn(6)
+		g := randomConnected(r, n, labels, r.Intn(3))
+		h, err := g.Permute(randomPerm(rand.New(rand.NewSource(sp.Perm)), n))
+		if err != nil {
+			return false
+		}
+		if CAMCode(g) != CAMCode(h) {
+			return false
+		}
+		// Relabel one node to a label absent from the graph: the label
+		// multiset changes, so the code must change.
+		v := int(sp.Which) % n
+		mut := New(-1)
+		for i := 0; i < n; i++ {
+			if i == v {
+				mut.AddNode("Zz")
+			} else {
+				mut.AddNode(g.Label(i))
+			}
+		}
+		for _, e := range g.Edges() {
+			mut.MustAddEdge(e.U, e.V)
+		}
+		return CAMCode(mut) != CAMCode(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCAMSmallShapes(t *testing.T) {
+	if CAMCode(New(0)) != "" {
+		t.Error("empty graph should have empty code")
+	}
+	single := New(0)
+	single.AddNode("Hg")
+	if code := CAMCode(single); code == "" {
+		t.Error("single node should have a code")
+	}
+	// P4 vs K1,3: classic non-isomorphic pair with equal degree sums.
+	if CAMCode(path("C", "C", "C", "C")) == CAMCode(star("C", "C", "C", "C")) {
+		t.Error("P4 and K1,3 share a CAM code")
+	}
+	// Labeled cycles differing only in label placement.
+	if CAMCode(cycle("C", "C", "O", "N")) == CAMCode(cycle("C", "O", "C", "N")) {
+		t.Error("differently-labeled cycles share a CAM code")
+	}
+}

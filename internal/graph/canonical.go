@@ -1,0 +1,256 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The paper identifies fragments by their CAM code (Huan & Wang's canonical
+// adjacency matrix). We use the minimum DFS code of gSpan instead — also a
+// complete canonical form (two graphs are isomorphic iff their minimum DFS
+// codes are equal) and the natural choice here because the miner is
+// gSpan-based. See DESIGN.md for the substitution note; CAMCode in cam.go is
+// the literal construction, used for cross-validation.
+
+// CodeEdge is one 5-tuple (i, j, li, le, lj) of a DFS code for undirected
+// graphs with node labels and optional edge labels (LE == "" on unlabeled
+// edges, which is how the paper's node-labeled presentation is recovered).
+// A forward edge has j == i_new (j > i); a backward edge has j < i and
+// always originates at the rightmost vertex.
+type CodeEdge struct {
+	I, J       int
+	LI, LE, LJ string
+}
+
+func (e CodeEdge) forward() bool { return e.J > e.I }
+
+// LessExt orders two candidate extensions of the same code prefix according
+// to gSpan's DFS lexicographic order:
+//   - backward extensions precede forward extensions (both originate at or
+//     below the rightmost vertex, and i_backward < j_forward always holds);
+//   - among backward extensions (same source i = rightmost vertex), smaller
+//     destination j is smaller, then the edge label decides;
+//   - among forward extensions, a deeper source on the rightmost path (larger
+//     i) is smaller; ties break on source label (first edge only), edge
+//     label, then the new vertex's label.
+func LessExt(a, b CodeEdge) bool {
+	af, bf := a.forward(), b.forward()
+	switch {
+	case !af && bf:
+		return true
+	case af && !bf:
+		return false
+	case !af: // both backward
+		if a.J != b.J {
+			return a.J < b.J
+		}
+		return a.LE < b.LE // defensive: simple graphs have one edge per slot
+	default: // both forward
+		if a.I != b.I {
+			return a.I > b.I
+		}
+		if a.LI != b.LI { // only possible for the very first edge (i==0)
+			return a.LI < b.LI
+		}
+		if a.LE != b.LE {
+			return a.LE < b.LE
+		}
+		return a.LJ < b.LJ
+	}
+}
+
+// dfsEmbedding maps code vertices to graph nodes during minimum-code search.
+type dfsEmbedding struct {
+	assign []int  // code vertex index -> graph node
+	inv    []int  // graph node -> code vertex index, -1 if unmapped
+	used   []bool // per edge index of g: already consumed by the code
+}
+
+func (e *dfsEmbedding) clone() *dfsEmbedding {
+	return &dfsEmbedding{
+		assign: append([]int(nil), e.assign...),
+		inv:    append([]int(nil), e.inv...),
+		used:   append([]bool(nil), e.used...),
+	}
+}
+
+// MinDFSCode computes the minimum DFS code of g. g must be connected; for a
+// single-node graph the code is a single pseudo-tuple carrying the label.
+func MinDFSCode(g *Graph) []CodeEdge {
+	if g.NumEdges() == 0 {
+		if g.NumNodes() == 1 {
+			return []CodeEdge{{I: 0, J: 0, LI: g.labels[0], LJ: g.labels[0]}}
+		}
+		panic("graph: MinDFSCode on empty or edgeless multi-node graph")
+	}
+	if !g.Connected() {
+		panic("graph: MinDFSCode on disconnected graph")
+	}
+
+	edgeIdx := make(map[Edge]int, len(g.edges))
+	for i, e := range g.edges {
+		edgeIdx[e] = i
+	}
+	labelOf := func(u, v int) string { return g.edgeLabels[edgeIdx[normEdge(u, v)]] }
+
+	// Seed: minimal first tuple (0, 1, la, le, lb) over all edges (both
+	// orientations).
+	var first CodeEdge
+	haveFirst := false
+	for i, e := range g.edges {
+		for _, o := range [2][2]int{{e.U, e.V}, {e.V, e.U}} {
+			t := CodeEdge{I: 0, J: 1, LI: g.labels[o[0]], LE: g.edgeLabels[i], LJ: g.labels[o[1]]}
+			if !haveFirst || LessExt(t, first) {
+				first, haveFirst = t, true
+			}
+		}
+	}
+	var embs []*dfsEmbedding
+	for i, e := range g.edges {
+		for _, o := range [2][2]int{{e.U, e.V}, {e.V, e.U}} {
+			if g.labels[o[0]] != first.LI || g.labels[o[1]] != first.LJ || g.edgeLabels[i] != first.LE {
+				continue
+			}
+			emb := &dfsEmbedding{
+				assign: []int{o[0], o[1]},
+				inv:    make([]int, g.NumNodes()),
+				used:   make([]bool, len(g.edges)),
+			}
+			for k := range emb.inv {
+				emb.inv[k] = -1
+			}
+			emb.inv[o[0]], emb.inv[o[1]] = 0, 1
+			emb.used[edgeIdx[normEdge(o[0], o[1])]] = true
+			embs = append(embs, emb)
+		}
+	}
+
+	code := []CodeEdge{first}
+	rmpath := []int{0, 1} // code vertex indices along the rightmost path
+
+	for len(code) < len(g.edges) {
+		// Gather the minimal extension over all live embeddings.
+		var best CodeEdge
+		haveBest := false
+		consider := func(t CodeEdge) {
+			if !haveBest || LessExt(t, best) {
+				best, haveBest = t, true
+			}
+		}
+		r := rmpath[len(rmpath)-1]
+		for _, emb := range embs {
+			// Backward extensions: rightmost vertex -> earlier rmpath vertex.
+			gv := emb.assign[r]
+			for _, pathV := range rmpath[:len(rmpath)-1] {
+				gw := emb.assign[pathV]
+				if g.HasEdge(gv, gw) && !emb.used[edgeIdx[normEdge(gv, gw)]] {
+					consider(CodeEdge{I: r, J: pathV, LI: g.labels[gv], LE: labelOf(gv, gw), LJ: g.labels[gw]})
+				}
+			}
+			// Forward extensions: from any rightmost-path vertex to an
+			// unmapped neighbor.
+			for _, pathV := range rmpath {
+				gu := emb.assign[pathV]
+				for _, gw := range g.adj[gu] {
+					if emb.inv[gw] == -1 {
+						consider(CodeEdge{I: pathV, J: len(emb.assign), LI: g.labels[gu], LE: labelOf(gu, gw), LJ: g.labels[gw]})
+					}
+				}
+			}
+		}
+		if !haveBest {
+			panic("graph: MinDFSCode ran out of extensions on a connected graph")
+		}
+
+		// Keep only embeddings realizing the best extension, extended.
+		var next []*dfsEmbedding
+		for _, emb := range embs {
+			if best.forward() {
+				gu := emb.assign[best.I]
+				for _, gw := range g.adj[gu] {
+					if emb.inv[gw] == -1 && g.labels[gw] == best.LJ && labelOf(gu, gw) == best.LE {
+						ne := emb.clone()
+						ne.assign = append(ne.assign, gw)
+						ne.inv[gw] = len(ne.assign) - 1
+						ne.used[edgeIdx[normEdge(gu, gw)]] = true
+						next = append(next, ne)
+					}
+				}
+			} else {
+				gv, gw := emb.assign[best.I], emb.assign[best.J]
+				if g.HasEdge(gv, gw) && !emb.used[edgeIdx[normEdge(gv, gw)]] {
+					ne := emb.clone()
+					ne.used[edgeIdx[normEdge(gv, gw)]] = true
+					next = append(next, ne)
+				}
+			}
+		}
+		embs = next
+		code = append(code, best)
+		if best.forward() {
+			// Truncate rmpath at the source and append the new vertex.
+			for i, v := range rmpath {
+				if v == best.I {
+					rmpath = append(rmpath[:i+1:i+1], best.J)
+					break
+				}
+			}
+		}
+	}
+	return code
+}
+
+// CanonicalCode returns a string serialization of g's minimum DFS code. Two
+// graphs have equal canonical codes iff they are isomorphic (node and edge
+// labels included). This string plays the role of cam(g) throughout the
+// reproduction.
+func CanonicalCode(g *Graph) string {
+	return EncodeCode(MinDFSCode(g))
+}
+
+// EncodeCode serializes a DFS code deterministically.
+func EncodeCode(code []CodeEdge) string {
+	var b strings.Builder
+	for _, e := range code {
+		if e.LE == "" {
+			fmt.Fprintf(&b, "(%d,%d,%s,%s)", e.I, e.J, e.LI, e.LJ)
+		} else {
+			fmt.Fprintf(&b, "(%d,%d,%s,[%s],%s)", e.I, e.J, e.LI, e.LE, e.LJ)
+		}
+	}
+	return b.String()
+}
+
+// CodeGraph reconstructs a graph from a DFS code. The result is isomorphic to
+// any graph whose minimum DFS code equals the input (for minimum codes).
+func CodeGraph(code []CodeEdge) *Graph {
+	g := New(-1)
+	if len(code) == 1 && code[0].I == code[0].J {
+		g.AddNode(code[0].LI)
+		return g
+	}
+	for _, e := range code {
+		for g.NumNodes() <= max(e.I, e.J) {
+			g.AddNode("")
+		}
+		g.labels[e.I] = e.LI
+		g.labels[e.J] = e.LJ
+		if err := g.AddLabeledEdge(e.I, e.J, e.LE); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+// IsMinCode reports whether the given code is the minimum DFS code of the
+// graph it denotes. Used by the miner to prune duplicate DFS-tree branches.
+func IsMinCode(code []CodeEdge) bool {
+	g := CodeGraph(code)
+	minCode := MinDFSCode(g)
+	for i := range code {
+		if code[i] != minCode[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,178 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// labeledPath builds a path with alternating edge labels.
+func labeledPath(nodeLabels []string, edgeLabels []string) *Graph {
+	g := New(-1)
+	for _, l := range nodeLabels {
+		g.AddNode(l)
+	}
+	for i := 0; i+1 < len(nodeLabels); i++ {
+		if err := g.AddLabeledEdge(i, i+1, edgeLabels[i]); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+func randomBonded(r *rand.Rand, n int, labels, bonds []string, extra int) *Graph {
+	g := New(-1)
+	for i := 0; i < n; i++ {
+		g.AddNode(labels[r.Intn(len(labels))])
+	}
+	for i := 1; i < n; i++ {
+		if err := g.AddLabeledEdge(i, r.Intn(i), bonds[r.Intn(len(bonds))]); err != nil {
+			panic(err)
+		}
+	}
+	for k := 0; k < extra; k++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v && !g.HasEdge(u, v) {
+			if err := g.AddLabeledEdge(u, v, bonds[r.Intn(len(bonds))]); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return g
+}
+
+func TestEdgeLabelAccessors(t *testing.T) {
+	g := labeledPath([]string{"C", "C", "O"}, []string{"1", "2"})
+	if g.EdgeLabel(0, 1) != "1" || g.EdgeLabel(1, 0) != "1" {
+		t.Error("EdgeLabel not symmetric")
+	}
+	if g.EdgeLabel(1, 2) != "2" {
+		t.Error("wrong edge label")
+	}
+	if g.EdgeLabel(0, 2) != "" {
+		t.Error("absent edge should have empty label")
+	}
+	if g.EdgeLabelAt(0) != "1" || g.EdgeLabelAt(1) != "2" {
+		t.Error("EdgeLabelAt broken")
+	}
+}
+
+func TestCanonicalCodeDistinguishesBondTypes(t *testing.T) {
+	single := labeledPath([]string{"C", "C"}, []string{"1"})
+	double := labeledPath([]string{"C", "C"}, []string{"2"})
+	if CanonicalCode(single) == CanonicalCode(double) {
+		t.Error("bond types not distinguished by canonical code")
+	}
+	if CAMCode(single) == CAMCode(double) {
+		t.Error("bond types not distinguished by CAM code")
+	}
+	// Same labels: same codes.
+	if CanonicalCode(single) != CanonicalCode(labeledPath([]string{"C", "C"}, []string{"1"})) {
+		t.Error("identical labeled edges got different codes")
+	}
+}
+
+func TestLabeledCanonicalInvariance(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	labels := []string{"C", "N", "O"}
+	bonds := []string{"1", "2", ""}
+	for trial := 0; trial < 150; trial++ {
+		n := 2 + r.Intn(6)
+		g := randomBonded(r, n, labels, bonds, r.Intn(3))
+		h, err := g.Permute(randomPerm(r, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if CanonicalCode(g) != CanonicalCode(h) {
+			t.Fatalf("trial %d: permuted labeled graph changed min DFS code", trial)
+		}
+		if CAMCode(g) != CAMCode(h) {
+			t.Fatalf("trial %d: permuted labeled graph changed CAM code", trial)
+		}
+	}
+}
+
+func TestLabeledCAMAgreesWithDFS(t *testing.T) {
+	r := rand.New(rand.NewSource(73))
+	labels := []string{"C", "N"}
+	bonds := []string{"1", "2"}
+	for trial := 0; trial < 250; trial++ {
+		g := randomBonded(r, 2+r.Intn(5), labels, bonds, r.Intn(2))
+		h := randomBonded(r, 2+r.Intn(5), labels, bonds, r.Intn(2))
+		if (CanonicalCode(g) == CanonicalCode(h)) != (CAMCode(g) == CAMCode(h)) {
+			t.Fatalf("trial %d: canonical forms disagree on labeled graphs\n g=%v\n h=%v", trial, g, h)
+		}
+	}
+}
+
+func TestVF2RespectsEdgeLabels(t *testing.T) {
+	// Query C=C (double bond) must not match a single-bonded C-C.
+	q := labeledPath([]string{"C", "C"}, []string{"2"})
+	gSingle := labeledPath([]string{"C", "C", "C"}, []string{"1", "1"})
+	gMixed := labeledPath([]string{"C", "C", "C"}, []string{"1", "2"})
+	if SubgraphIsomorphic(q, gSingle) {
+		t.Error("double bond matched single bond")
+	}
+	if !SubgraphIsomorphic(q, gMixed) {
+		t.Error("double bond not found in mixed path")
+	}
+	// Distance reflects edge-label mismatches.
+	q2 := labeledPath([]string{"C", "C", "C"}, []string{"2", "2"})
+	if d := SubgraphDistance(q2, gMixed); d != 1 {
+		t.Errorf("dist = %d, want 1 (one matching double bond)", d)
+	}
+}
+
+func TestLabeledEmbeddingValidity(t *testing.T) {
+	r := rand.New(rand.NewSource(79))
+	labels := []string{"C", "N"}
+	bonds := []string{"1", "2"}
+	for trial := 0; trial < 100; trial++ {
+		g := randomBonded(r, 4+r.Intn(5), labels, bonds, r.Intn(3))
+		subs := ConnectedEdgeSubgraphs(g)
+		k := 1 + r.Intn(g.Size())
+		if len(subs[k]) == 0 {
+			continue
+		}
+		q := subs[k][r.Intn(len(subs[k]))]
+		m := FindEmbedding(q, g)
+		if m == nil {
+			t.Fatalf("trial %d: labeled subgraph not found in its host", trial)
+		}
+		for _, e := range q.Edges() {
+			if q.EdgeLabel(e.U, e.V) != g.EdgeLabel(m[e.U], m[e.V]) {
+				t.Fatal("embedding violates edge labels")
+			}
+		}
+	}
+}
+
+func TestLabeledTextAndGobRoundTrip(t *testing.T) {
+	g := labeledPath([]string{"C", "N", "O"}, []string{"1", "2"})
+	g.ID = 5
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, []*Graph{g}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back[0].EdgeLabel(0, 1) != "1" || back[0].EdgeLabel(1, 2) != "2" {
+		t.Error("edge labels lost in text round trip")
+	}
+	if CanonicalCode(back[0]) != CanonicalCode(g) {
+		t.Error("text round trip changed the graph")
+	}
+	clone := g.Clone()
+	if clone.EdgeLabel(0, 1) != "1" {
+		t.Error("Clone dropped edge labels")
+	}
+	sub, err := g.DeleteEdge(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.EdgeLabel(0, 1) != "1" {
+		t.Error("DeleteEdge dropped surviving edge labels")
+	}
+}

@@ -1,0 +1,86 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestTextRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	var graphs []*Graph
+	for i := 0; i < 20; i++ {
+		g := randomConnected(r, 2+r.Intn(8), []string{"C", "N", "O", "Cl"}, r.Intn(4))
+		g.ID = i * 3
+		graphs = append(graphs, g)
+	}
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, graphs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(graphs) {
+		t.Fatalf("got %d graphs, want %d", len(back), len(graphs))
+	}
+	for i := range graphs {
+		if back[i].ID != graphs[i].ID {
+			t.Errorf("graph %d: id %d != %d", i, back[i].ID, graphs[i].ID)
+		}
+		if CanonicalCode(back[i]) != CanonicalCode(graphs[i]) {
+			t.Errorf("graph %d changed across text round trip", i)
+		}
+	}
+}
+
+func TestReadAllRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"v 0 C\n",                         // vertex before graph header
+		"t # 0\ne 0 1\n",                  // edge with no vertices
+		"t # 0\nv 0 C\nv 1 C\ne 0 x\n",    // bad endpoint
+		"t # 0\nv 0 C\nv 1 C\nq 0 1\n",    // unknown record
+		"t # 0\nv 0 C\nv 1 C\ne 0 0\n",    // self loop
+		"t # 0\nv 0\n",                    // missing label
+		"t # 0\nv 0 C\nv 1 C\ne 0 5 1 \n", // out of range
+	}
+	for i, c := range cases {
+		if _, err := ReadAll(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: malformed input accepted: %q", i, c)
+		}
+	}
+}
+
+func TestReadAllAcceptsCommentsAndEdgeLabels(t *testing.T) {
+	in := "# comment\nt # 7\nv 0 C\nv 1 N\ne 0 1 2\n\n"
+	gs, err := ReadAll(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gs) != 1 || gs[0].ID != 7 || gs[0].NumEdges() != 1 {
+		t.Fatalf("unexpected parse result: %+v", gs)
+	}
+}
+
+func TestGobRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(29))
+	g := randomConnected(r, 6, []string{"C", "O"}, 3)
+	g.ID = 99
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(g); err != nil {
+		t.Fatal(err)
+	}
+	var back Graph
+	if err := gob.NewDecoder(&buf).Decode(&back); err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != 99 || CanonicalCode(&back) != CanonicalCode(g) {
+		t.Error("gob round trip altered the graph")
+	}
+	if !back.Connected() {
+		t.Error("decoded graph lost adjacency structure")
+	}
+}

@@ -1,0 +1,143 @@
+package graph
+
+// Connected edge-induced subgraph enumeration. The SPIG levels and the MCCS
+// machinery both range over "all connected subgraphs of q with k edges"; this
+// file provides that enumeration (deduplicated up to isomorphism via the
+// canonical code) and the derived MCCS / subgraph-distance measures of
+// Definitions 1 and 2.
+
+// ConnectedEdgeSubgraphs returns, for each k in 1..g.Size(), the connected
+// k-edge subgraphs of g deduplicated by canonical code. The result is indexed
+// by k (index 0 unused). g must be connected. Exponential in the worst case;
+// intended for query graphs (the paper caps visual queries at ~10 edges).
+func ConnectedEdgeSubgraphs(g *Graph) [][]*Graph {
+	m := g.Size()
+	byK := make([][]*Graph, m+1)
+	seen := make([]map[string]bool, m+1)
+	for k := 1; k <= m; k++ {
+		seen[k] = map[string]bool{}
+	}
+
+	for _, sub := range connectedEdgeSets(g) {
+		k := len(sub)
+		sg, _ := g.EdgeInducedSubgraph(sub)
+		code := CanonicalCode(sg)
+		if !seen[k][code] {
+			seen[k][code] = true
+			byK[k] = append(byK[k], sg)
+		}
+	}
+	return byK
+}
+
+// connectedEdgeSets enumerates every connected edge subset of g exactly once,
+// using the standard "forbidden set" expansion: subsets are grown from each
+// seed edge e_i using only edges with index > i plus connectivity.
+func connectedEdgeSets(g *Graph) [][]Edge {
+	var out [][]Edge
+	m := g.Size()
+	edges := g.Edges()
+
+	adjEdges := make([][]int, g.NumNodes()) // node -> incident edge indices
+	for i, e := range edges {
+		adjEdges[e.U] = append(adjEdges[e.U], i)
+		adjEdges[e.V] = append(adjEdges[e.V], i)
+	}
+
+	var cur []int
+	inCur := make([]bool, m)
+	banned := make([]bool, m)
+
+	// expand grows the current connected set by any incident, unbanned,
+	// higher-index edge; each recursion level picks one frontier edge, emits,
+	// recurses, then bans it for the remainder of this level (classic
+	// connected-subgraph enumeration without duplicates).
+	var expand func(seed int)
+	expand = func(seed int) {
+		var cands []int
+		for _, ei := range cur {
+			e := edges[ei]
+			for _, v := range [2]int{e.U, e.V} {
+				for _, fi := range adjEdges[v] {
+					if fi > seed && !inCur[fi] && !banned[fi] {
+						cands = append(cands, fi)
+					}
+				}
+			}
+		}
+		// Dedup candidates.
+		seenC := map[int]bool{}
+		uniq := cands[:0]
+		for _, c := range cands {
+			if !seenC[c] {
+				seenC[c] = true
+				uniq = append(uniq, c)
+			}
+		}
+		var localBans []int
+		for _, c := range uniq {
+			cur = append(cur, c)
+			inCur[c] = true
+			set := make([]Edge, len(cur))
+			for i, ei := range cur {
+				set[i] = edges[ei]
+			}
+			out = append(out, set)
+			expand(seed)
+			inCur[c] = false
+			cur = cur[:len(cur)-1]
+			banned[c] = true
+			localBans = append(localBans, c)
+		}
+		for _, c := range localBans {
+			banned[c] = false
+		}
+	}
+
+	for i := 0; i < m; i++ {
+		cur = cur[:0]
+		cur = append(cur, i)
+		inCur[i] = true
+		out = append(out, []Edge{edges[i]})
+		expand(i)
+		inCur[i] = false
+	}
+	return out
+}
+
+// MCCSSize returns |mccs(G, Q)|: the size (edge count) of the largest
+// connected subgraph of q that is subgraph-isomorphic to g. Returns 0 when
+// not even a single edge of q matches. minK, if > 0, allows early exit: the
+// search stops (returning 0) once it is known the answer is below minK.
+func MCCSSize(q, g *Graph, minK int) int {
+	subs := ConnectedEdgeSubgraphs(q)
+	for k := q.Size(); k >= 1 && k >= minK; k-- {
+		for _, sg := range subs[k] {
+			if SubgraphIsomorphic(sg, g) {
+				return k
+			}
+		}
+	}
+	return 0
+}
+
+// SimilarityDegree returns δ = |mccs(g, q)| / |q| (Definition 1).
+func SimilarityDegree(q, g *Graph) float64 {
+	return float64(MCCSSize(q, g, 0)) / float64(q.Size())
+}
+
+// SubgraphDistance returns dist(q, g) = ⌊(1-δ)·|q|⌋ = |q| - |mccs(g, q)|
+// (Definition 2). A distance of 0 means q ⊆ g.
+func SubgraphDistance(q, g *Graph) int {
+	return q.Size() - MCCSSize(q, g, 0)
+}
+
+// WithinDistance reports whether dist(q, g) ≤ sigma, i.e. some connected
+// subgraph of q with at least |q|-sigma edges embeds in g. It short-circuits
+// without computing the full MCCS.
+func WithinDistance(q, g *Graph, sigma int) bool {
+	if sigma >= q.Size() {
+		return true
+	}
+	return MCCSSize(q, g, q.Size()-sigma) >= q.Size()-sigma
+}

@@ -1,0 +1,165 @@
+package graph
+
+// VF2-style subgraph isomorphism for node-labeled undirected graphs, after
+// Cordella et al. [3], the verifier the paper adopts. The matching is the
+// standard (non-induced) subgraph isomorphism of the paper: an injective
+// mapping m from the query's nodes to the data graph's nodes such that labels
+// are preserved and every query edge {u,v} maps to a data edge {m(u), m(v)}.
+
+type vf2State struct {
+	q, g     *Graph
+	core     []int // query node -> data node, -1 if unmapped
+	mapped   []bool
+	order    []int // query node visit order (connected expansion)
+	parent   []int // order position -> earlier query neighbor (-1 for root)
+	onResult func(core []int) bool
+}
+
+// buildOrder produces a connected visit order over q's nodes starting from a
+// node with a rare label / high degree, with each subsequent node adjacent to
+// an already ordered one. q must be connected.
+func buildOrder(q *Graph) (order []int, parent []int) {
+	n := q.NumNodes()
+	inOrder := make([]bool, n)
+	// Start from the highest-degree node; ties on smaller index.
+	start := 0
+	for v := 1; v < n; v++ {
+		if q.Degree(v) > q.Degree(start) {
+			start = v
+		}
+	}
+	order = append(order, start)
+	parent = append(parent, -1)
+	inOrder[start] = true
+	for len(order) < n {
+		bestV, bestPar, bestDeg := -1, -1, -1
+		for _, u := range order {
+			for _, w := range q.Neighbors(u) {
+				if !inOrder[w] && q.Degree(w) > bestDeg {
+					bestV, bestPar, bestDeg = w, u, q.Degree(w)
+				}
+			}
+		}
+		order = append(order, bestV)
+		parent = append(parent, bestPar)
+		inOrder[bestV] = true
+	}
+	return order, parent
+}
+
+func (s *vf2State) match(depth int) bool {
+	if depth == len(s.order) {
+		return s.onResult(s.core)
+	}
+	qv := s.order[depth]
+	par := s.parent[depth]
+
+	var candidates []int
+	if par == -1 {
+		candidates = make([]int, s.g.NumNodes())
+		for i := range candidates {
+			candidates[i] = i
+		}
+	} else {
+		candidates = s.g.Neighbors(s.core[par])
+	}
+
+cand:
+	for _, gv := range candidates {
+		if s.mapped[gv] || s.g.Label(gv) != s.q.Label(qv) {
+			continue
+		}
+		if s.g.Degree(gv) < s.q.Degree(qv) {
+			continue
+		}
+		// All already-mapped query neighbors of qv must map to neighbors
+		// of gv, with matching edge labels.
+		for _, qn := range s.q.Neighbors(qv) {
+			if s.core[qn] == -1 {
+				continue
+			}
+			if !s.g.HasEdge(gv, s.core[qn]) {
+				continue cand
+			}
+			if s.q.EdgeLabel(qv, qn) != s.g.EdgeLabel(gv, s.core[qn]) {
+				continue cand
+			}
+		}
+		s.core[qv] = gv
+		s.mapped[gv] = true
+		if s.match(depth + 1) {
+			return true
+		}
+		s.core[qv] = -1
+		s.mapped[gv] = false
+	}
+	return false
+}
+
+// SubgraphIsomorphic reports whether q is subgraph-isomorphic to g (q ⊆ g in
+// the paper's notation). q must be connected.
+func SubgraphIsomorphic(q, g *Graph) bool {
+	return firstEmbedding(q, g) != nil
+}
+
+// FindEmbedding returns one embedding of q into g as a query-node -> data-node
+// slice, or nil if none exists.
+func FindEmbedding(q, g *Graph) []int {
+	return firstEmbedding(q, g)
+}
+
+func firstEmbedding(q, g *Graph) []int {
+	if q.NumNodes() > g.NumNodes() || q.NumEdges() > g.NumEdges() {
+		return nil
+	}
+	var result []int
+	s := newState(q, g, func(core []int) bool {
+		result = append([]int(nil), core...)
+		return true
+	})
+	s.match(0)
+	return result
+}
+
+// CountEmbeddings counts embeddings of q in g, stopping at limit (0 = no
+// limit). Distinct node mappings are counted separately (automorphic images
+// included), matching Grafil-style feature counting.
+func CountEmbeddings(q, g *Graph, limit int) int {
+	if q.NumNodes() > g.NumNodes() || q.NumEdges() > g.NumEdges() {
+		return 0
+	}
+	count := 0
+	s := newState(q, g, func([]int) bool {
+		count++
+		return limit > 0 && count >= limit
+	})
+	s.match(0)
+	return count
+}
+
+// ForEachEmbedding invokes fn for every embedding of q in g (query-node ->
+// data-node slice, valid only during the call). Returning true from fn stops
+// the enumeration.
+func ForEachEmbedding(q, g *Graph, fn func(core []int) bool) {
+	if q.NumNodes() > g.NumNodes() || q.NumEdges() > g.NumEdges() {
+		return
+	}
+	s := newState(q, g, fn)
+	s.match(0)
+}
+
+func newState(q, g *Graph, onResult func([]int) bool) *vf2State {
+	order, parent := buildOrder(q)
+	s := &vf2State{
+		q: q, g: g,
+		core:     make([]int, q.NumNodes()),
+		mapped:   make([]bool, g.NumNodes()),
+		order:    order,
+		parent:   parent,
+		onResult: onResult,
+	}
+	for i := range s.core {
+		s.core[i] = -1
+	}
+	return s
+}

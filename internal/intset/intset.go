@@ -1,0 +1,116 @@
+// Package intset provides set operations on sorted []int slices, the
+// representation used for FSG identifier lists and candidate sets throughout
+// the engine (Rq, Rfree, Rver in the paper's notation).
+package intset
+
+import "sort"
+
+// Normalize sorts s and removes duplicates in place, returning the result.
+func Normalize(s []int) []int {
+	sort.Ints(s)
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Intersect returns the intersection of two sorted sets as a new slice.
+func Intersect(a, b []int) []int {
+	var out []int
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Union returns the union of two sorted sets as a new slice.
+func Union(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// Diff returns a \ b for sorted sets as a new slice.
+func Diff(a, b []int) []int {
+	var out []int
+	j := 0
+	for _, v := range a {
+		for j < len(b) && b[j] < v {
+			j++
+		}
+		if j == len(b) || b[j] != v {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Contains reports whether sorted set s contains v.
+func Contains(s []int, v int) bool {
+	i := sort.SearchInts(s, v)
+	return i < len(s) && s[i] == v
+}
+
+// Subset reports whether sorted set a is a subset of sorted set b.
+func Subset(a, b []int) bool {
+	j := 0
+	for _, v := range a {
+		for j < len(b) && b[j] < v {
+			j++
+		}
+		if j == len(b) || b[j] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether two sorted sets are equal.
+func Equal(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of s.
+func Clone(s []int) []int {
+	if s == nil {
+		return nil
+	}
+	return append([]int(nil), s...)
+}

@@ -1,0 +1,313 @@
+package mining
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"prague/internal/graph"
+)
+
+func pathGraph(id int, labels ...string) *graph.Graph {
+	g := graph.New(id)
+	for _, l := range labels {
+		g.AddNode(l)
+	}
+	for i := 0; i+1 < len(labels); i++ {
+		g.MustAddEdge(i, i+1)
+	}
+	return g
+}
+
+func randomDB(r *rand.Rand, n, minNodes, maxNodes int, labels []string) []*graph.Graph {
+	var db []*graph.Graph
+	for i := 0; i < n; i++ {
+		nodes := minNodes + r.Intn(maxNodes-minNodes+1)
+		g := graph.New(i)
+		for v := 0; v < nodes; v++ {
+			g.AddNode(labels[r.Intn(len(labels))])
+		}
+		for v := 1; v < nodes; v++ {
+			g.MustAddEdge(v, r.Intn(v))
+		}
+		extra := r.Intn(3)
+		for k := 0; k < extra; k++ {
+			u, v := r.Intn(nodes), r.Intn(nodes)
+			if u != v && !g.HasEdge(u, v) {
+				g.MustAddEdge(u, v)
+			}
+		}
+		db = append(db, g)
+	}
+	return db
+}
+
+// bruteFrequent computes every frequent fragment up to maxSize by enumerating
+// all connected subgraphs of all data graphs and counting support with VF2.
+func bruteFrequent(db []*graph.Graph, minSup, maxSize int) map[string][]int {
+	classes := map[string]*graph.Graph{}
+	for _, g := range db {
+		subs := graph.ConnectedEdgeSubgraphs(g)
+		for k := 1; k <= g.Size() && k <= maxSize; k++ {
+			for _, sg := range subs[k] {
+				classes[graph.CanonicalCode(sg)] = sg
+			}
+		}
+	}
+	out := map[string][]int{}
+	for code, frag := range classes {
+		var ids []int
+		for _, g := range db {
+			if graph.SubgraphIsomorphic(frag, g) {
+				ids = append(ids, g.ID)
+			}
+		}
+		if len(ids) >= minSup {
+			sort.Ints(ids)
+			out[code] = ids
+		}
+	}
+	return out
+}
+
+func TestMineOptionsValidation(t *testing.T) {
+	db := []*graph.Graph{pathGraph(0, "C", "C")}
+	if _, err := Mine(db, Options{MinSupportRatio: 0}); err == nil {
+		t.Error("α = 0 accepted")
+	}
+	if _, err := Mine(db, Options{MinSupportRatio: 1}); err == nil {
+		t.Error("α = 1 accepted")
+	}
+	if _, err := Mine(nil, Options{MinSupportRatio: 0.5}); err == nil {
+		t.Error("empty database accepted")
+	}
+}
+
+func TestMineMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 8; trial++ {
+		db := randomDB(r, 12, 3, 7, []string{"C", "N", "O"})
+		res, err := Mine(db, Options{MinSupportRatio: 0.3, MaxSize: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteFrequent(db, res.MinSup, 4)
+		if len(res.ByCode) != len(want) {
+			t.Fatalf("trial %d: miner found %d frequent fragments, brute force %d",
+				trial, len(res.ByCode), len(want))
+		}
+		for code, ids := range want {
+			frag, ok := res.ByCode[code]
+			if !ok {
+				t.Fatalf("trial %d: missing frequent fragment %s", trial, code)
+			}
+			if !equalInts(frag.FSGIds, ids) {
+				t.Fatalf("trial %d: fragment %s fsgIds %v != %v", trial, code, frag.FSGIds, ids)
+			}
+			if frag.Support != len(ids) {
+				t.Fatalf("trial %d: fragment %s support %d != %d", trial, code, frag.Support, len(ids))
+			}
+		}
+	}
+}
+
+func TestAprioriProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(55))
+	db := randomDB(r, 20, 3, 8, []string{"C", "N"})
+	res, err := Mine(db, Options{MinSupportRatio: 0.2, MaxSize: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range res.Frequent {
+		if f.Size() == 1 {
+			continue
+		}
+		for _, e := range f.Graph.Edges() {
+			sub, err := f.Graph.DeleteEdge(e.U, e.V)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sub.Connected() {
+				continue
+			}
+			code := graph.CanonicalCode(sub)
+			parent, ok := res.ByCode[code]
+			if !ok {
+				t.Fatalf("apriori violated: subgraph %s of frequent %s not frequent", code, f.Code)
+			}
+			// fsgIds(superset fragment) ⊆ fsgIds(subfragment).
+			if !subsetInts(f.FSGIds, parent.FSGIds) {
+				t.Fatalf("FSG containment violated for %s ⊂ %s", code, f.Code)
+			}
+		}
+	}
+}
+
+func TestDIFProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	db := randomDB(r, 20, 3, 8, []string{"C", "N", "O"})
+	res, err := Mine(db, Options{MinSupportRatio: 0.25, MaxSize: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.DIFs) == 0 {
+		t.Fatal("expected at least one DIF in a random database")
+	}
+	for _, d := range res.DIFs {
+		if d.Support >= res.MinSup {
+			t.Errorf("DIF %s has frequent support %d", d.Code, d.Support)
+		}
+		if res.IsFrequent(d.Code) {
+			t.Errorf("DIF %s also recorded frequent", d.Code)
+		}
+		// Property: every proper connected subgraph of a DIF is frequent.
+		if d.Size() > 1 {
+			subs := graph.ConnectedEdgeSubgraphs(d.Graph)
+			for k := 1; k < d.Size(); k++ {
+				for _, sg := range subs[k] {
+					if !res.IsFrequent(graph.CanonicalCode(sg)) {
+						t.Errorf("DIF %s has infrequent proper subgraph %v", d.Code, sg)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDIFNegativeBorderComplete(t *testing.T) {
+	// Every infrequent fragment in the database must contain a DIF
+	// (paper §III property 2). Check by brute force on a small database.
+	r := rand.New(rand.NewSource(13))
+	db := randomDB(r, 10, 3, 6, []string{"C", "N"})
+	maxSize := 4
+	res, err := Mine(db, Options{MinSupportRatio: 0.4, MaxSize: maxSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enumerate all fragments present in the db up to maxSize.
+	classes := map[string]*graph.Graph{}
+	for _, g := range db {
+		subs := graph.ConnectedEdgeSubgraphs(g)
+		for k := 1; k <= g.Size() && k <= maxSize; k++ {
+			for _, sg := range subs[k] {
+				classes[graph.CanonicalCode(sg)] = sg
+			}
+		}
+	}
+	for code, frag := range classes {
+		if res.IsFrequent(code) {
+			continue
+		}
+		// frag is infrequent: it must contain (or be) a DIF.
+		found := res.IsDIF(code)
+		if !found {
+			subs := graph.ConnectedEdgeSubgraphs(frag)
+			for k := 1; k <= frag.Size() && !found; k++ {
+				for _, sg := range subs[k] {
+					if res.IsDIF(graph.CanonicalCode(sg)) {
+						found = true
+						break
+					}
+				}
+			}
+		}
+		if !found {
+			t.Errorf("infrequent fragment %s contains no DIF", code)
+		}
+	}
+}
+
+func TestZeroSupportPairs(t *testing.T) {
+	db := []*graph.Graph{
+		pathGraph(0, "C", "C", "N"),
+		pathGraph(1, "C", "C", "N"),
+		pathGraph(2, "C", "O"),
+	}
+	res, err := Mine(db, Options{MinSupportRatio: 0.5, MaxSize: 3, IncludeZeroSupportPairs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// N-O never appears: must be a zero-support DIF.
+	no := pathGraph(-1, "N", "O")
+	frag, ok := res.DIFByCode[graph.CanonicalCode(no)]
+	if !ok {
+		t.Fatal("missing zero-support pair N-O")
+	}
+	if frag.Support != 0 || len(frag.FSGIds) != 0 {
+		t.Errorf("zero-support pair has support %d", frag.Support)
+	}
+	// C-O appears once (infrequent with minSup=2): a real size-1 DIF.
+	co := pathGraph(-1, "C", "O")
+	if d, ok := res.DIFByCode[graph.CanonicalCode(co)]; !ok || d.Support != 1 {
+		t.Errorf("C-O should be a support-1 DIF, got %+v", d)
+	}
+	// C-C appears twice: frequent.
+	cc := pathGraph(-1, "C", "C")
+	if !res.IsFrequent(graph.CanonicalCode(cc)) {
+		t.Error("C-C should be frequent")
+	}
+}
+
+func TestMaxSizeCap(t *testing.T) {
+	db := []*graph.Graph{
+		pathGraph(0, "C", "C", "C", "C", "C"),
+		pathGraph(1, "C", "C", "C", "C", "C"),
+	}
+	res, err := Mine(db, Options{MinSupportRatio: 0.9, MaxSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range res.Frequent {
+		if f.Size() > 2 {
+			t.Errorf("fragment %s exceeds MaxSize", f.Code)
+		}
+	}
+}
+
+func TestMinSupCeiling(t *testing.T) {
+	// |D| = 3, α = 0.5 ⇒ minSup must be 2 (ceil), not 1.
+	db := []*graph.Graph{
+		pathGraph(0, "C", "C"),
+		pathGraph(1, "C", "N"),
+		pathGraph(2, "N", "N"),
+	}
+	res, err := Mine(db, Options{MinSupportRatio: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MinSup != 2 {
+		t.Fatalf("minSup = %d, want 2", res.MinSup)
+	}
+	if len(res.Frequent) != 0 {
+		t.Errorf("no fragment appears twice, but got %d frequent", len(res.Frequent))
+	}
+	if len(res.DIFs) != 3 {
+		t.Errorf("all three edges should be size-1 DIFs, got %d", len(res.DIFs))
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// subsetInts reports a ⊆ b for sorted slices.
+func subsetInts(a, b []int) bool {
+	i := 0
+	for _, x := range a {
+		for i < len(b) && b[i] < x {
+			i++
+		}
+		if i == len(b) || b[i] != x {
+			return false
+		}
+	}
+	return true
+}

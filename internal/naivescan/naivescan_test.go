@@ -1,0 +1,115 @@
+package naivescan
+
+import (
+	"math/rand"
+	"testing"
+
+	"prague/internal/graph"
+)
+
+func fixture(seed int64, n int) []*graph.Graph {
+	r := rand.New(rand.NewSource(seed))
+	labels := []string{"C", "C", "N", "O"}
+	var db []*graph.Graph
+	for i := 0; i < n; i++ {
+		nodes := 4 + r.Intn(5)
+		g := graph.New(i)
+		for v := 0; v < nodes; v++ {
+			g.AddNode(labels[r.Intn(len(labels))])
+		}
+		for v := 1; v < nodes; v++ {
+			g.MustAddEdge(v, r.Intn(v))
+		}
+		db = append(db, g)
+	}
+	return db
+}
+
+func query() *graph.Graph {
+	q := graph.New(-1)
+	a := q.AddNode("C")
+	b := q.AddNode("C")
+	c := q.AddNode("N")
+	q.MustAddEdge(a, b)
+	q.MustAddEdge(b, c)
+	return q
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(nil, 1); err == nil {
+		t.Error("empty database accepted")
+	}
+	if e, err := New(fixture(1, 3), 0); err != nil || e.workers != 1 {
+		t.Error("workers floor broken")
+	}
+}
+
+func TestContainmentMatchesVF2(t *testing.T) {
+	db := fixture(2, 40)
+	e, err := New(db, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query()
+	ids, _ := e.Containment(q)
+	set := map[int]bool{}
+	for _, id := range ids {
+		set[id] = true
+	}
+	for _, g := range db {
+		if got, want := set[g.ID], graph.SubgraphIsomorphic(q, g); got != want {
+			t.Fatalf("graph %d: got %v want %v", g.ID, got, want)
+		}
+	}
+}
+
+func TestSimilarityMatchesDefinition(t *testing.T) {
+	db := fixture(3, 30)
+	e, err := New(db, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query()
+	results, _ := e.Similarity(q, 1)
+	got := map[int]int{}
+	for _, r := range results {
+		got[r.GraphID] = r.Distance
+	}
+	for _, g := range db {
+		d := graph.SubgraphDistance(q, g)
+		if d <= 1 {
+			if got[g.ID] != d {
+				t.Fatalf("graph %d: distance %d, want %d", g.ID, got[g.ID], d)
+			}
+		} else if _, ok := got[g.ID]; ok {
+			t.Fatalf("graph %d beyond threshold included", g.ID)
+		}
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i-1].Distance > results[i].Distance {
+			t.Fatal("not ranked")
+		}
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	db := fixture(4, 50)
+	seq, _ := New(db, 1)
+	par, _ := New(db, 4)
+	q := query()
+	a, _ := seq.Similarity(q, 2)
+	b, _ := par.Similarity(q, 2)
+	if len(a) != len(b) {
+		t.Fatalf("parallel %d results vs sequential %d", len(b), len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("result %d differs", i)
+		}
+	}
+	ca, _ := seq.Containment(q)
+	cb, _ := par.Containment(q)
+	if len(ca) != len(cb) {
+		t.Fatal("containment differs")
+	}
+}

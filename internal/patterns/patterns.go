@@ -1,0 +1,112 @@
+// Package patterns provides a small library of canned query patterns — the
+// "drag and drop of canned patterns or subgraphs (e.g., benzene ring)"
+// composition style the paper's §I footnote mentions as the natural next
+// step beyond edge-at-a-time formulation. Patterns are plain query graphs
+// for core.Engine.AddPattern.
+package patterns
+
+import (
+	"fmt"
+
+	"prague/internal/graph"
+)
+
+// Ring returns a simple cycle over the given labels (≥ 3).
+func Ring(labels ...string) (*graph.Graph, error) {
+	if len(labels) < 3 {
+		return nil, fmt.Errorf("patterns: a ring needs at least 3 nodes, got %d", len(labels))
+	}
+	g := graph.New(-1)
+	for _, l := range labels {
+		g.AddNode(l)
+	}
+	for i := range labels {
+		g.MustAddEdge(i, (i+1)%len(labels))
+	}
+	return g, nil
+}
+
+// Benzene returns the six-carbon ring — the paper's canonical example of a
+// canned pattern.
+func Benzene() *graph.Graph {
+	g, err := Ring("C", "C", "C", "C", "C", "C")
+	if err != nil {
+		panic(err) // unreachable: fixed-size input
+	}
+	return g
+}
+
+// BondedRing returns a cycle with per-edge bond labels: edge i connects
+// node i to node (i+1) mod n and carries bonds[i]. len(bonds) must equal
+// len(labels).
+func BondedRing(labels, bonds []string) (*graph.Graph, error) {
+	if len(labels) < 3 {
+		return nil, fmt.Errorf("patterns: a ring needs at least 3 nodes, got %d", len(labels))
+	}
+	if len(bonds) != len(labels) {
+		return nil, fmt.Errorf("patterns: %d bonds for %d ring edges", len(bonds), len(labels))
+	}
+	g := graph.New(-1)
+	for _, l := range labels {
+		g.AddNode(l)
+	}
+	for i := range labels {
+		if err := g.AddLabeledEdge(i, (i+1)%len(labels), bonds[i]); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// KekuleBenzene returns the benzene ring with alternating single/double
+// bonds (the Kekulé structure), for edge-labeled databases.
+func KekuleBenzene() *graph.Graph {
+	g, err := BondedRing(
+		[]string{"C", "C", "C", "C", "C", "C"},
+		[]string{"1", "2", "1", "2", "1", "2"},
+	)
+	if err != nil {
+		panic(err) // unreachable: fixed-size input
+	}
+	return g
+}
+
+// Chain returns a simple path over the given labels (≥ 2).
+func Chain(labels ...string) (*graph.Graph, error) {
+	if len(labels) < 2 {
+		return nil, fmt.Errorf("patterns: a chain needs at least 2 nodes, got %d", len(labels))
+	}
+	g := graph.New(-1)
+	for _, l := range labels {
+		g.AddNode(l)
+	}
+	for i := 0; i+1 < len(labels); i++ {
+		g.MustAddEdge(i, i+1)
+	}
+	return g, nil
+}
+
+// Star returns a star with the given center label and leaf labels (≥ 1
+// leaf). Node 0 is the center.
+func Star(center string, leaves ...string) (*graph.Graph, error) {
+	if len(leaves) < 1 {
+		return nil, fmt.Errorf("patterns: a star needs at least 1 leaf")
+	}
+	g := graph.New(-1)
+	g.AddNode(center)
+	for _, l := range leaves {
+		v := g.AddNode(l)
+		g.MustAddEdge(0, v)
+	}
+	return g, nil
+}
+
+// Carboxyl returns the -C(=O)OH motif approximated for simple graphs
+// (carbon bonded to two oxygens); node 0 is the carbon.
+func Carboxyl() *graph.Graph {
+	g, err := Star("C", "O", "O")
+	if err != nil {
+		panic(err) // unreachable: fixed-size input
+	}
+	return g
+}

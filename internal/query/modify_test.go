@@ -1,0 +1,119 @@
+package query
+
+import (
+	"testing"
+)
+
+// buildPath returns a query C-C-C-C-C (edges 1..4) plus its node ids.
+func buildPath(t *testing.T, n int) (*Query, []int) {
+	t.Helper()
+	q := New()
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = q.AddNode("C")
+	}
+	for i := 0; i+1 < n; i++ {
+		if _, err := q.AddEdge(ids[i], ids[i+1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return q, ids
+}
+
+func TestDeleteEdgesFinalConnectivityOnly(t *testing.T) {
+	q, _ := buildPath(t, 5) // edges 1..4
+	// {2,3} leaves {1,4}: disconnected.
+	if err := q.DeleteEdges([]int{2, 3}); err == nil {
+		t.Fatal("disconnecting deletion accepted")
+	}
+	if q.Size() != 4 {
+		t.Fatal("failed DeleteEdges mutated the query")
+	}
+	// {3,4} leaves {1,2}: connected, although deleting 3 alone would not be.
+	if q.CanDelete(3) {
+		t.Fatal("premise: e3 alone should not be deletable")
+	}
+	if err := q.DeleteEdges([]int{3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if q.Size() != 2 {
+		t.Fatalf("size %d after multi-delete", q.Size())
+	}
+}
+
+func TestDeleteEdgesValidation(t *testing.T) {
+	q, _ := buildPath(t, 3)
+	if err := q.DeleteEdges(nil); err != nil {
+		t.Error("empty deletion should be a no-op")
+	}
+	if err := q.DeleteEdges([]int{1, 1}); err == nil {
+		t.Error("duplicate steps accepted")
+	}
+	if err := q.DeleteEdges([]int{7}); err == nil {
+		t.Error("unknown step accepted")
+	}
+	// Deleting everything is allowed (no remaining state to connect).
+	if err := q.DeleteEdges([]int{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if q.Size() != 0 {
+		t.Error("not all edges deleted")
+	}
+}
+
+func TestRelabelNodeReassignsIncidentSteps(t *testing.T) {
+	q, ids := buildPath(t, 4) // edges 1,2,3; node ids[1] touches e1 and e2
+	oldSteps, newSteps, err := q.RelabelNode(ids[1], "N")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(oldSteps) != 2 || len(newSteps) != 2 {
+		t.Fatalf("old=%v new=%v", oldSteps, newSteps)
+	}
+	if oldSteps[0] != 1 || oldSteps[1] != 2 {
+		t.Errorf("old steps %v, want [1 2]", oldSteps)
+	}
+	if newSteps[0] != 4 || newSteps[1] != 5 {
+		t.Errorf("new steps %v, want [4 5] (fresh labels)", newSteps)
+	}
+	if q.NodeLabel(ids[1]) != "N" {
+		t.Error("label not changed")
+	}
+	if q.Size() != 3 {
+		t.Errorf("size %d after relabel, want 3", q.Size())
+	}
+	// Topology unchanged: still a path of 3 edges.
+	g, _ := q.Graph()
+	if !g.Connected() || g.NumEdges() != 3 {
+		t.Error("relabel changed topology")
+	}
+	// Steps: e3 survives, e1/e2 replaced by e4/e5.
+	steps := q.Steps()
+	want := []int{3, 4, 5}
+	for i, s := range steps {
+		if s != want[i] {
+			t.Fatalf("steps %v, want %v", steps, want)
+		}
+	}
+}
+
+func TestRelabelNodeEdgeCases(t *testing.T) {
+	q, ids := buildPath(t, 3)
+	if _, _, err := q.RelabelNode(99, "N"); err == nil {
+		t.Error("missing node accepted")
+	}
+	// Same label: no-op.
+	o, n, err := q.RelabelNode(ids[0], "C")
+	if err != nil || o != nil || n != nil {
+		t.Errorf("no-op relabel: old=%v new=%v err=%v", o, n, err)
+	}
+	// Isolated canvas node: label changes, no steps touched.
+	iso := q.AddNode("O")
+	o, n, err = q.RelabelNode(iso, "S")
+	if err != nil || len(o) != 0 || len(n) != 0 {
+		t.Errorf("isolated relabel: old=%v new=%v err=%v", o, n, err)
+	}
+	if q.NodeLabel(iso) != "S" {
+		t.Error("isolated node label unchanged")
+	}
+}

@@ -1,0 +1,350 @@
+// Package query models the visually formulated query graph: an evolving,
+// connected, node-labeled graph whose edges carry the formulation step label
+// ℓ assigned in drawing order ("the ℓ-th edge constructed by a user is
+// denoted as eℓ", paper §V). Edge deletion — the paper's modification
+// primitive — is supported as long as the query stays connected.
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"prague/internal/graph"
+)
+
+// Edge is one query edge: stable endpoint node ids, the formulation step
+// label, and an optional edge label (bond type; "" = unlabeled).
+type Edge struct {
+	A, B  int
+	Step  int
+	Label string
+}
+
+// Query is the evolving visual query fragment. Node ids are stable across
+// edge deletions (they are canvas object identities, never reused).
+type Query struct {
+	nodeLabels map[int]string
+	nextNode   int
+	edges      map[int]Edge // step label -> edge
+	nextStep   int
+}
+
+// New returns an empty query.
+func New() *Query {
+	return &Query{nodeLabels: map[int]string{}, edges: map[int]Edge{}, nextStep: 1, nextNode: 0}
+}
+
+// AddNode drops a node with the given label onto the canvas and returns its
+// stable id.
+func (q *Query) AddNode(label string) int {
+	id := q.nextNode
+	q.nextNode++
+	q.nodeLabels[id] = label
+	return id
+}
+
+// AddEdge draws an unlabeled edge between two existing nodes and returns
+// its step label ℓ.
+func (q *Query) AddEdge(u, v int) (int, error) {
+	return q.AddLabeledEdge(u, v, "")
+}
+
+// AddLabeledEdge draws an edge carrying an edge label (e.g. a bond type)
+// and returns its step label ℓ.
+func (q *Query) AddLabeledEdge(u, v int, label string) (int, error) {
+	if _, ok := q.nodeLabels[u]; !ok {
+		return 0, fmt.Errorf("query: node %d does not exist", u)
+	}
+	if _, ok := q.nodeLabels[v]; !ok {
+		return 0, fmt.Errorf("query: node %d does not exist", v)
+	}
+	if u == v {
+		return 0, fmt.Errorf("query: self-loop on node %d", u)
+	}
+	for _, e := range q.edges {
+		if (e.A == u && e.B == v) || (e.A == v && e.B == u) {
+			return 0, fmt.Errorf("query: edge {%d,%d} already drawn at step %d", u, v, e.Step)
+		}
+	}
+	// The query must stay connected at all times (paper assumption): the new
+	// edge must touch the existing fragment unless it is the first edge.
+	if len(q.edges) > 0 {
+		touched := false
+		for _, e := range q.edges {
+			if e.A == u || e.B == u || e.A == v || e.B == v {
+				touched = true
+				break
+			}
+		}
+		if !touched {
+			return 0, fmt.Errorf("query: edge {%d,%d} would disconnect the query fragment", u, v)
+		}
+	}
+	step := q.nextStep
+	q.nextStep++
+	q.edges[step] = Edge{A: u, B: v, Step: step, Label: label}
+	return step, nil
+}
+
+// DeleteEdge removes the edge drawn at the given step. It returns an error if
+// the edge does not exist or if removing it would disconnect the remaining
+// query fragment (the paper requires the modified query graph to stay
+// connected at all times).
+func (q *Query) DeleteEdge(step int) error {
+	if _, ok := q.edges[step]; !ok {
+		return fmt.Errorf("query: no edge with step label %d", step)
+	}
+	if len(q.edges) > 1 {
+		rest := make([]int, 0, len(q.edges)-1)
+		for s := range q.edges {
+			if s != step {
+				rest = append(rest, s)
+			}
+		}
+		if _, connected := q.FragmentOf(rest); !connected {
+			return fmt.Errorf("query: deleting e%d would disconnect the query", step)
+		}
+	}
+	delete(q.edges, step)
+	return nil
+}
+
+// DeleteEdges removes several edges at once. Unlike repeated DeleteEdge
+// calls, only the *final* state must be connected — intermediate states may
+// pass through disconnection (the paper notes multi-edge deletion is a
+// trivial extension of the single-edge case). It is all-or-nothing.
+func (q *Query) DeleteEdges(steps []int) error {
+	if len(steps) == 0 {
+		return nil
+	}
+	seen := map[int]bool{}
+	for _, s := range steps {
+		if _, ok := q.edges[s]; !ok {
+			return fmt.Errorf("query: no edge with step label %d", s)
+		}
+		if seen[s] {
+			return fmt.Errorf("query: duplicate step %d in deletion", s)
+		}
+		seen[s] = true
+	}
+	if len(q.edges) > len(steps) {
+		var rest []int
+		for s := range q.edges {
+			if !seen[s] {
+				rest = append(rest, s)
+			}
+		}
+		if _, connected := q.FragmentOf(rest); !connected {
+			return fmt.Errorf("query: deleting %v would disconnect the query", steps)
+		}
+	}
+	for _, s := range steps {
+		delete(q.edges, s)
+	}
+	return nil
+}
+
+// RelabelNode changes the label of a canvas node. Per the paper's §VII
+// footnote, relabeling is expressed as deleting the node's incident edges
+// and re-inserting them against the relabeled node: the incident edges are
+// assigned fresh step labels (returned in oldSteps/newSteps order), so the
+// caller can update per-edge state (SPIGs) accordingly.
+func (q *Query) RelabelNode(node int, label string) (oldSteps, newSteps []int, err error) {
+	if _, ok := q.nodeLabels[node]; !ok {
+		return nil, nil, fmt.Errorf("query: node %d does not exist", node)
+	}
+	if q.nodeLabels[node] == label {
+		return nil, nil, nil
+	}
+	q.nodeLabels[node] = label
+	var incident []Edge
+	for s, e := range q.edges {
+		if e.A == node || e.B == node {
+			oldSteps = append(oldSteps, s)
+			incident = append(incident, e)
+		}
+	}
+	sort.Ints(oldSteps)
+	sort.Slice(incident, func(i, j int) bool { return incident[i].Step < incident[j].Step })
+	for _, s := range oldSteps {
+		delete(q.edges, s)
+	}
+	for _, e := range incident {
+		step := q.nextStep
+		q.nextStep++
+		q.edges[step] = Edge{A: e.A, B: e.B, Step: step, Label: e.Label}
+		newSteps = append(newSteps, step)
+	}
+	return oldSteps, newSteps, nil
+}
+
+// CanDelete reports whether the edge at the given step could be deleted
+// without disconnecting the query.
+func (q *Query) CanDelete(step int) bool {
+	if _, ok := q.edges[step]; !ok {
+		return false
+	}
+	if len(q.edges) == 1 {
+		return true
+	}
+	rest := make([]int, 0, len(q.edges)-1)
+	for s := range q.edges {
+		if s != step {
+			rest = append(rest, s)
+		}
+	}
+	_, connected := q.FragmentOf(rest)
+	return connected
+}
+
+// Size returns |q| = number of edges.
+func (q *Query) Size() int { return len(q.edges) }
+
+// Steps returns the step labels of the current edges in ascending order.
+func (q *Query) Steps() []int {
+	steps := make([]int, 0, len(q.edges))
+	for s := range q.edges {
+		steps = append(steps, s)
+	}
+	sort.Ints(steps)
+	return steps
+}
+
+// LastStep returns the largest step label currently in the query (the "new
+// edge"), or 0 if the query has no edges.
+func (q *Query) LastStep() int {
+	last := 0
+	for s := range q.edges {
+		if s > last {
+			last = s
+		}
+	}
+	return last
+}
+
+// Edge returns the edge with the given step label.
+func (q *Query) Edge(step int) (Edge, bool) {
+	e, ok := q.edges[step]
+	return e, ok
+}
+
+// NodeLabel returns the label of the node with the given stable id.
+func (q *Query) NodeLabel(id int) string { return q.nodeLabels[id] }
+
+// Graph materializes the current query fragment as a dense graph (isolated
+// canvas nodes omitted) together with the step labels of its edges in the
+// dense graph's edge order.
+func (q *Query) Graph() (*graph.Graph, []int) {
+	g, steps, _ := q.fragment(q.Steps())
+	return g, steps
+}
+
+// FragmentOf materializes the edge-induced subgraph given by the step labels
+// and reports whether it is connected. Unknown step labels are an error
+// expressed as (nil, false).
+func (q *Query) FragmentOf(steps []int) (*graph.Graph, bool) {
+	g, _, ok := q.fragment(steps)
+	if !ok || g == nil {
+		return nil, false
+	}
+	return g, g.Connected()
+}
+
+// FragmentWithNodes is FragmentOf plus the mapping from the fragment's dense
+// node indices back to the stable canvas node ids (used to highlight MCCS
+// matches on the canvas).
+func (q *Query) FragmentWithNodes(steps []int) (*graph.Graph, []int, bool) {
+	g, _, ok := q.fragment(steps)
+	if !ok || g == nil {
+		return nil, nil, false
+	}
+	if !g.Connected() {
+		return nil, nil, false
+	}
+	// Recompute the dense-index -> stable-id mapping the same way fragment
+	// assigns indices (first appearance in ascending step order).
+	sorted := append([]int(nil), steps...)
+	sort.Ints(sorted)
+	var stable []int
+	seen := map[int]bool{}
+	add := func(id int) {
+		if !seen[id] {
+			seen[id] = true
+			stable = append(stable, id)
+		}
+	}
+	for _, s := range sorted {
+		e := q.edges[s]
+		add(e.A)
+		add(e.B)
+	}
+	return g, stable, true
+}
+
+func (q *Query) fragment(steps []int) (*graph.Graph, []int, bool) {
+	if len(steps) == 0 {
+		return nil, nil, false
+	}
+	sorted := append([]int(nil), steps...)
+	sort.Ints(sorted)
+	g := graph.New(-1)
+	remap := map[int]int{}
+	nodeOf := func(stable int) int {
+		if v, ok := remap[stable]; ok {
+			return v
+		}
+		v := g.AddNode(q.nodeLabels[stable])
+		remap[stable] = v
+		return v
+	}
+	var order []int
+	for _, s := range sorted {
+		e, ok := q.edges[s]
+		if !ok {
+			return nil, nil, false
+		}
+		if err := g.AddLabeledEdge(nodeOf(e.A), nodeOf(e.B), e.Label); err != nil {
+			return nil, nil, false
+		}
+		order = append(order, s)
+	}
+	return g, order, true
+}
+
+// AdjacentSteps returns, for each current edge step, the steps of edges
+// sharing an endpoint with it.
+func (q *Query) AdjacentSteps() map[int][]int {
+	byNode := map[int][]int{}
+	for s, e := range q.edges {
+		byNode[e.A] = append(byNode[e.A], s)
+		byNode[e.B] = append(byNode[e.B], s)
+	}
+	adj := map[int][]int{}
+	for s, e := range q.edges {
+		seen := map[int]bool{s: true}
+		for _, n := range [2]int{e.A, e.B} {
+			for _, t := range byNode[n] {
+				if !seen[t] {
+					seen[t] = true
+					adj[s] = append(adj[s], t)
+				}
+			}
+		}
+		sort.Ints(adj[s])
+	}
+	return adj
+}
+
+// Clone returns a deep copy of the query.
+func (q *Query) Clone() *Query {
+	c := New()
+	c.nextNode = q.nextNode
+	c.nextStep = q.nextStep
+	for id, l := range q.nodeLabels {
+		c.nodeLabels[id] = l
+	}
+	for s, e := range q.edges {
+		c.edges[s] = e
+	}
+	return c
+}

@@ -1,0 +1,165 @@
+package query
+
+import (
+	"testing"
+
+	"prague/internal/graph"
+)
+
+func TestAddEdgeRules(t *testing.T) {
+	q := New()
+	a := q.AddNode("C")
+	b := q.AddNode("C")
+	c := q.AddNode("N")
+	d := q.AddNode("O")
+
+	if _, err := q.AddEdge(a, a); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if _, err := q.AddEdge(a, 99); err == nil {
+		t.Error("unknown node accepted")
+	}
+	s1, err := q.AddEdge(a, b)
+	if err != nil || s1 != 1 {
+		t.Fatalf("first edge: step=%d err=%v", s1, err)
+	}
+	if _, err := q.AddEdge(b, a); err == nil {
+		t.Error("duplicate edge accepted")
+	}
+	if _, err := q.AddEdge(c, d); err == nil {
+		t.Error("disconnected edge accepted")
+	}
+	s2, err := q.AddEdge(b, c)
+	if err != nil || s2 != 2 {
+		t.Fatalf("second edge: step=%d err=%v", s2, err)
+	}
+	if q.Size() != 2 || q.LastStep() != 2 {
+		t.Errorf("size=%d last=%d", q.Size(), q.LastStep())
+	}
+}
+
+func TestDeleteEdgeConnectivity(t *testing.T) {
+	q := New()
+	a := q.AddNode("C")
+	b := q.AddNode("C")
+	c := q.AddNode("C")
+	q.AddEdge(a, b) // e1
+	q.AddEdge(b, c) // e2
+	q.AddEdge(a, c) // e3
+
+	if !q.CanDelete(2) {
+		t.Error("deleting a cycle edge should be allowed")
+	}
+	if err := q.DeleteEdge(2); err != nil {
+		t.Fatal(err)
+	}
+	// Now a path a-b, a-c; deleting either end edge is fine but
+	// re-deleting e2 must fail.
+	if err := q.DeleteEdge(2); err == nil {
+		t.Error("double delete succeeded")
+	}
+	if q.CanDelete(99) {
+		t.Error("CanDelete on missing edge")
+	}
+	// Build a path of 3 edges; middle edge is a bridge.
+	q2 := New()
+	n := []int{q2.AddNode("C"), q2.AddNode("C"), q2.AddNode("C"), q2.AddNode("C")}
+	q2.AddEdge(n[0], n[1])
+	q2.AddEdge(n[1], n[2])
+	q2.AddEdge(n[2], n[3])
+	if err := q2.DeleteEdge(2); err == nil {
+		t.Error("bridge deletion disconnecting the query succeeded")
+	}
+	if err := q2.DeleteEdge(3); err != nil {
+		t.Errorf("end-edge deletion failed: %v", err)
+	}
+}
+
+func TestStepLabelsNotReused(t *testing.T) {
+	q := New()
+	a := q.AddNode("C")
+	b := q.AddNode("C")
+	q.AddEdge(a, b) // e1
+	if err := q.DeleteEdge(1); err != nil {
+		t.Fatal(err)
+	}
+	s, err := q.AddEdge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 2 {
+		t.Errorf("redrawn edge got step %d, want 2 (labels are never reused)", s)
+	}
+}
+
+func TestGraphMaterialization(t *testing.T) {
+	q := New()
+	a := q.AddNode("C")
+	b := q.AddNode("N")
+	q.AddNode("O") // isolated canvas node: not part of the fragment
+	q.AddEdge(a, b)
+	g, steps := q.Graph()
+	if g.NumNodes() != 2 || g.NumEdges() != 1 {
+		t.Fatalf("materialized %d nodes/%d edges", g.NumNodes(), g.NumEdges())
+	}
+	if len(steps) != 1 || steps[0] != 1 {
+		t.Errorf("steps = %v", steps)
+	}
+	if graph.CanonicalCode(g) == "" {
+		t.Error("empty code")
+	}
+}
+
+func TestFragmentOf(t *testing.T) {
+	q := New()
+	n := []int{q.AddNode("C"), q.AddNode("C"), q.AddNode("C"), q.AddNode("N")}
+	q.AddEdge(n[0], n[1]) // e1
+	q.AddEdge(n[1], n[2]) // e2
+	q.AddEdge(n[2], n[3]) // e3
+
+	if frag, ok := q.FragmentOf([]int{1, 2}); !ok || frag.Size() != 2 {
+		t.Error("connected fragment rejected")
+	}
+	if _, ok := q.FragmentOf([]int{1, 3}); ok {
+		t.Error("disconnected fragment accepted")
+	}
+	if _, ok := q.FragmentOf([]int{9}); ok {
+		t.Error("unknown step accepted")
+	}
+	if _, ok := q.FragmentOf(nil); ok {
+		t.Error("empty fragment accepted")
+	}
+}
+
+func TestAdjacentSteps(t *testing.T) {
+	q := New()
+	n := []int{q.AddNode("C"), q.AddNode("C"), q.AddNode("C"), q.AddNode("N")}
+	q.AddEdge(n[0], n[1]) // e1
+	q.AddEdge(n[1], n[2]) // e2
+	q.AddEdge(n[2], n[3]) // e3
+	adj := q.AdjacentSteps()
+	if len(adj[1]) != 1 || adj[1][0] != 2 {
+		t.Errorf("adj[1] = %v", adj[1])
+	}
+	if len(adj[2]) != 2 {
+		t.Errorf("adj[2] = %v", adj[2])
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	q := New()
+	a := q.AddNode("C")
+	b := q.AddNode("C")
+	q.AddEdge(a, b)
+	c := q.Clone()
+	c.AddNode("O")
+	if err := c.DeleteEdge(1); err != nil {
+		t.Fatal(err)
+	}
+	if q.Size() != 1 {
+		t.Error("clone mutation leaked into original")
+	}
+	if s, _ := c.AddEdge(a, b); s != 2 {
+		t.Error("clone lost step counter")
+	}
+}

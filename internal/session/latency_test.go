@@ -1,0 +1,54 @@
+package session
+
+import (
+	"testing"
+	"time"
+
+	"prague/internal/workload"
+)
+
+func TestQFTAccountsLatencyBudget(t *testing.T) {
+	db, idx := fixture(t)
+	qs, err := workload.ContainmentQueries(db, 1, []int{5}, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wq := qs[0]
+
+	// Generous budget: QFT = steps × budget exactly, no violations.
+	rep, err := RunPrague(db, idx, wq, 2, Config{EdgeLatency: time.Second}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BudgetViolations != 0 {
+		t.Fatalf("violations at 1s budget: %d", rep.BudgetViolations)
+	}
+	if want := time.Duration(wq.Size()) * time.Second; rep.QFT != want {
+		t.Fatalf("QFT %v, want %v", rep.QFT, want)
+	}
+
+	// Absurdly tight budget: every step violates, QFT = Σ step compute.
+	rep, err = RunPrague(db, idx, wq, 2, Config{EdgeLatency: time.Nanosecond}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BudgetViolations != wq.Size() {
+		t.Fatalf("violations at 1ns budget: %d, want %d", rep.BudgetViolations, wq.Size())
+	}
+	var sum time.Duration
+	for _, st := range rep.Steps {
+		sum += st.SpigTime + st.EvalTime
+	}
+	if rep.QFT != sum {
+		t.Fatalf("QFT %v, want per-step sum %v", rep.QFT, sum)
+	}
+}
+
+func TestDefaultLatencyIsTwoSeconds(t *testing.T) {
+	if (Config{}).latency() != 2*time.Second {
+		t.Error("default GUI latency must be the paper's 2s")
+	}
+	if (Config{EdgeLatency: time.Millisecond}).latency() != time.Millisecond {
+		t.Error("explicit latency ignored")
+	}
+}

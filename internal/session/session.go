@@ -1,0 +1,220 @@
+// Package session simulates the visual formulation sessions of the paper's
+// user study: it drives a blended engine through a workload query one edge
+// at a time, accounts each step's computation against the latency the GUI
+// offers (the paper observes users need at least ~2 seconds to draw an
+// edge), and measures the system response time (SRT) — the work left after
+// the Run icon is pressed.
+package session
+
+import (
+	"fmt"
+	"time"
+
+	"prague/internal/core"
+	"prague/internal/gblender"
+	"prague/internal/graph"
+	"prague/internal/index"
+	"prague/internal/workload"
+)
+
+// Config is the latency model.
+type Config struct {
+	// EdgeLatency is the time the GUI gives the engine per drawn edge
+	// (default 2s, the paper's lower bound on edge drawing time). It is
+	// never slept; it is the budget per-step compute is compared against.
+	EdgeLatency time.Duration
+}
+
+func (c Config) latency() time.Duration {
+	if c.EdgeLatency == 0 {
+		return 2 * time.Second
+	}
+	return c.EdgeLatency
+}
+
+// Modification schedules an edge deletion during formulation.
+type Modification struct {
+	// AfterEdges applies the deletion once this many edges are drawn.
+	AfterEdges int
+	// DeleteStep is the step label to delete; if it cannot be deleted
+	// (connectivity), the smallest deletable step is used instead, which is
+	// how the experiments emulate the paper's "always delete e1" worst case.
+	DeleteStep int
+}
+
+// StepReport is the measurement of one formulation step.
+type StepReport struct {
+	Step        int
+	SpigTime    time.Duration
+	EvalTime    time.Duration
+	Status      core.Status
+	NeedsChoice bool
+}
+
+// Report summarizes a PRAGUE session.
+type Report struct {
+	Name              string
+	Steps             []StepReport
+	ModificationTimes []time.Duration
+	DeletedSteps      []int
+	SimilarityMode    bool
+	Free, Ver, Total  int
+	Results           []core.Result
+	// SRT is the system response time: compute after Run was pressed.
+	SRT time.Duration
+	// QFT is the simulated query formulation time: per step, the larger of
+	// the GUI latency and the step's compute.
+	QFT time.Duration
+	// BudgetViolations counts steps whose compute exceeded the GUI latency
+	// (the paper's claim is that this stays at zero).
+	BudgetViolations int
+}
+
+// RunPrague drives a full PRAGUE session: formulate the workload query edge
+// by edge (choosing similarity search whenever the engine reports an empty
+// exact candidate set), apply any scheduled modifications, press Run, and
+// report all measurements.
+func RunPrague(db []*graph.Graph, idx *index.Set, wq workload.Query, sigma int, cfg Config, mods []Modification) (*Report, error) {
+	e, err := core.New(db, idx, sigma)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Name: wq.Name}
+	lat := cfg.latency()
+
+	ids := make([]int, len(wq.NodeLabels))
+	for i, l := range wq.NodeLabels {
+		ids[i] = e.AddNode(l)
+	}
+	modAt := map[int][]Modification{}
+	for _, m := range mods {
+		modAt[m.AfterEdges] = append(modAt[m.AfterEdges], m)
+	}
+
+	for i, ed := range wq.Edges {
+		out, err := e.AddEdge(ids[ed[0]], ids[ed[1]])
+		if err != nil {
+			return nil, fmt.Errorf("session: drawing edge %d of %s: %w", i+1, wq.Name, err)
+		}
+		sr := StepReport{
+			Step: out.Step, SpigTime: out.SpigTime, EvalTime: out.EvalTime,
+			Status: out.Status, NeedsChoice: out.NeedsChoice,
+		}
+		if out.NeedsChoice {
+			e.ChooseSimilarity()
+		}
+		rep.Steps = append(rep.Steps, sr)
+		stepCompute := out.SpigTime + out.EvalTime
+		if stepCompute > lat {
+			rep.BudgetViolations++
+			rep.QFT += stepCompute
+		} else {
+			rep.QFT += lat
+		}
+
+		for _, m := range modAt[i+1] {
+			del := m.DeleteStep
+			if !e.Query().CanDelete(del) {
+				del = 0
+				for _, s := range e.Query().Steps() {
+					if e.Query().CanDelete(s) {
+						del = s
+						break
+					}
+				}
+			}
+			if del == 0 {
+				return nil, fmt.Errorf("session: no deletable edge for modification after edge %d", i+1)
+			}
+			out, err := e.DeleteEdge(del)
+			if err != nil {
+				return nil, err
+			}
+			if out.NeedsChoice {
+				e.ChooseSimilarity()
+			}
+			times := e.Stats().ModificationTime
+			rep.ModificationTimes = append(rep.ModificationTimes, times[len(times)-1])
+			rep.DeletedSteps = append(rep.DeletedSteps, del)
+		}
+	}
+
+	rep.SimilarityMode = e.SimilarityMode()
+	rep.Free, rep.Ver, rep.Total = e.CandidateCounts()
+
+	results, err := e.Run()
+	if err != nil {
+		return nil, err
+	}
+	rep.Results = results
+	rep.SRT = e.Stats().RunTime
+	return rep, nil
+}
+
+// GBReport summarizes a GBLENDER session (containment only).
+type GBReport struct {
+	Name              string
+	StepTimes         []time.Duration
+	ModificationTimes []time.Duration
+	Results           []int
+	SRT               time.Duration
+	BudgetViolations  int
+}
+
+// RunGBlender drives a GBLENDER session over the same workload query (the
+// Figure 9(a) comparison). Modifications use GBLENDER's full-replay path.
+func RunGBlender(db []*graph.Graph, idx *index.Set, wq workload.Query, cfg Config, mods []Modification) (*GBReport, error) {
+	e, err := gblender.New(db, idx)
+	if err != nil {
+		return nil, err
+	}
+	rep := &GBReport{Name: wq.Name}
+	lat := cfg.latency()
+
+	ids := make([]int, len(wq.NodeLabels))
+	for i, l := range wq.NodeLabels {
+		ids[i] = e.AddNode(l)
+	}
+	modAt := map[int][]Modification{}
+	for _, m := range mods {
+		modAt[m.AfterEdges] = append(modAt[m.AfterEdges], m)
+	}
+	for i, ed := range wq.Edges {
+		if _, err := e.AddEdge(ids[ed[0]], ids[ed[1]]); err != nil {
+			return nil, fmt.Errorf("session: drawing edge %d of %s: %w", i+1, wq.Name, err)
+		}
+		times := e.Stats().StepEvaluation
+		st := times[len(times)-1]
+		rep.StepTimes = append(rep.StepTimes, st)
+		if st > lat {
+			rep.BudgetViolations++
+		}
+		for _, m := range modAt[i+1] {
+			del := m.DeleteStep
+			if !e.Query().CanDelete(del) {
+				del = 0
+				for _, s := range e.Query().Steps() {
+					if e.Query().CanDelete(s) {
+						del = s
+						break
+					}
+				}
+			}
+			if del == 0 {
+				return nil, fmt.Errorf("session: no deletable edge for modification after edge %d", i+1)
+			}
+			if err := e.DeleteEdge(del); err != nil {
+				return nil, err
+			}
+			mt := e.Stats().ModificationTime
+			rep.ModificationTimes = append(rep.ModificationTimes, mt[len(mt)-1])
+		}
+	}
+	results, err := e.Run()
+	if err != nil {
+		return nil, err
+	}
+	rep.Results = results
+	rep.SRT = e.Stats().RunTime
+	return rep, nil
+}

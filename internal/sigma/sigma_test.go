@@ -1,0 +1,154 @@
+package sigma
+
+import (
+	"math/rand"
+	"testing"
+
+	"prague/internal/feature"
+	"prague/internal/graph"
+	"prague/internal/mining"
+)
+
+func fixture(t *testing.T, seed int64, n int) ([]*graph.Graph, *feature.Index) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	labels := []string{"C", "C", "C", "N", "O"}
+	var db []*graph.Graph
+	for i := 0; i < n; i++ {
+		nodes := 4 + r.Intn(5)
+		g := graph.New(i)
+		for v := 0; v < nodes; v++ {
+			g.AddNode(labels[r.Intn(len(labels))])
+		}
+		for v := 1; v < nodes; v++ {
+			g.MustAddEdge(v, r.Intn(v))
+		}
+		for k := 0; k < r.Intn(2); k++ {
+			u, v := r.Intn(nodes), r.Intn(nodes)
+			if u != v && !g.HasEdge(u, v) {
+				g.MustAddEdge(u, v)
+			}
+		}
+		db = append(db, g)
+	}
+	res, err := mining.Mine(db, mining.Options{MinSupportRatio: 0.2, MaxSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fidx, err := feature.Build(db, res, feature.Options{MaxFeatureSize: 3, CountCap: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, fidx
+}
+
+func randomQuery(r *rand.Rand, labels []string, nEdges int) *graph.Graph {
+	q := graph.New(-1)
+	q.AddNode(labels[r.Intn(len(labels))])
+	q.AddNode(labels[r.Intn(len(labels))])
+	q.MustAddEdge(0, 1)
+	for q.NumEdges() < nEdges {
+		if r.Intn(3) > 0 || q.NumNodes() < 3 {
+			a := r.Intn(q.NumNodes())
+			v := q.AddNode(labels[r.Intn(len(labels))])
+			q.MustAddEdge(a, v)
+		} else {
+			a, b := r.Intn(q.NumNodes()), r.Intn(q.NumNodes())
+			if a != b && !q.HasEdge(a, b) {
+				q.MustAddEdge(a, b)
+			}
+		}
+	}
+	return q
+}
+
+func TestValidation(t *testing.T) {
+	db, fidx := fixture(t, 1, 10)
+	if _, err := New(db[:3], fidx); err == nil {
+		t.Error("mismatched db accepted")
+	}
+	e, err := New(db, fidx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Query(nil, 1); err == nil {
+		t.Error("nil query accepted")
+	}
+}
+
+func TestLowerBoundIsSound(t *testing.T) {
+	// The set-cover bound must never exceed the true subgraph distance, so
+	// no true answer is pruned.
+	db, fidx := fixture(t, 2, 25)
+	e, err := New(db, fidx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(2))
+	labels := []string{"C", "N", "O"}
+	for trial := 0; trial < 15; trial++ {
+		q := randomQuery(r, labels, 3+r.Intn(3))
+		sigma := 1 + r.Intn(2)
+		cands := map[int]bool{}
+		for _, id := range e.Candidates(q, sigma) {
+			cands[id] = true
+		}
+		for _, g := range db {
+			if graph.SubgraphDistance(q, g) <= sigma && !cands[g.ID] {
+				t.Fatalf("trial %d: pruned true answer %d (σ=%d)", trial, g.ID, sigma)
+			}
+		}
+	}
+}
+
+func TestQueryMatchesOracle(t *testing.T) {
+	db, fidx := fixture(t, 3, 25)
+	e, err := New(db, fidx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(3))
+	labels := []string{"C", "N", "O"}
+	for trial := 0; trial < 10; trial++ {
+		q := randomQuery(r, labels, 3+r.Intn(3))
+		sigma := 1 + r.Intn(2)
+		results, m, err := e.Query(q, sigma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := map[int]int{}
+		for _, g := range db {
+			if d := graph.SubgraphDistance(q, g); d <= sigma {
+				want[g.ID] = d
+			}
+		}
+		if len(results) != len(want) {
+			t.Fatalf("trial %d: %d results, want %d", trial, len(results), len(want))
+		}
+		for _, res := range results {
+			if want[res.GraphID] != res.Distance {
+				t.Fatalf("trial %d: graph %d distance %d, want %d", trial, res.GraphID, res.Distance, want[res.GraphID])
+			}
+		}
+		if m.Candidates < len(results) {
+			t.Fatal("candidate set smaller than result set")
+		}
+	}
+}
+
+func TestSigmaPrunesAtLeastAsWellAsNothing(t *testing.T) {
+	db, fidx := fixture(t, 4, 25)
+	e, err := New(db, fidx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(4))
+	q := randomQuery(r, []string{"N", "O"}, 4) // rare labels: should prune hard
+	cands := e.Candidates(q, 1)
+	if len(cands) == len(db) {
+		t.Log("note: filter did not prune anything for this query (seed-dependent)")
+	}
+	if e.IndexSizeBytes() <= 0 {
+		t.Error("non-positive index size")
+	}
+}

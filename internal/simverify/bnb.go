@@ -1,0 +1,175 @@
+package simverify
+
+import (
+	"prague/internal/graph"
+)
+
+// The paper notes its SimVerify is deliberately simple and "can easily be
+// replaced with a more efficient technique" (§VI-C). This file provides
+// that replacement: a branch-and-bound maximum-connected-common-subgraph
+// search that avoids enumerating the query's subgraph classes. It grows a
+// connected partial embedding of query edges into the data graph, deciding
+// frontier edges one at a time (map it somewhere, or exclude it), and
+// prunes branches whose optimistic bound cannot beat the best size found.
+
+// MCCSSizeBnB returns |mccs(g, q)| like graph.MCCSSize, computed by
+// branch and bound instead of subgraph-class enumeration. minK > 0 allows
+// early exit: once it is known no common subgraph reaches minK, 0 is
+// returned; and any common subgraph of size ≥ minK short-circuits bound
+// computation (the caller only needs the threshold).
+func MCCSSizeBnB(q, g *graph.Graph, minK int) int {
+	if q.Size() == 0 {
+		return 0
+	}
+	s := &bnbState{
+		q: q, g: g,
+		nodeMap: make([]int, q.NumNodes()),
+		gUsed:   make([]bool, g.NumNodes()),
+		eState:  make([]int8, q.NumEdges()),
+		minK:    minK,
+	}
+	for i := range s.nodeMap {
+		s.nodeMap[i] = -1
+	}
+
+	// Seed on every query edge × every compatible data edge placement.
+	// Restricting subset growth to edges adjacent to the mapped part keeps
+	// subsets connected; iterating all seeds keeps the search complete.
+	for qi, qe := range q.Edges() {
+		for gi, ge := range g.Edges() {
+			for _, o := range [2][2]int{{ge.U, ge.V}, {ge.V, ge.U}} {
+				if q.Label(qe.U) != g.Label(o[0]) || q.Label(qe.V) != g.Label(o[1]) {
+					continue
+				}
+				if q.EdgeLabelAt(qi) != g.EdgeLabelAt(gi) {
+					continue
+				}
+				s.nodeMap[qe.U], s.nodeMap[qe.V] = o[0], o[1]
+				s.gUsed[o[0]], s.gUsed[o[1]] = true, true
+				s.eState[qi] = eMapped
+				s.mapped = 1
+				s.expand()
+				s.eState[qi] = eUndecided
+				s.mapped = 0
+				s.gUsed[o[0]], s.gUsed[o[1]] = false, false
+				s.nodeMap[qe.U], s.nodeMap[qe.V] = -1, -1
+				if s.best >= q.Size() || (s.minK > 0 && s.best >= s.minK) {
+					if s.minK > 0 && s.best < s.minK {
+						return 0
+					}
+					return s.best
+				}
+			}
+		}
+	}
+	if s.minK > 0 && s.best < s.minK {
+		return 0
+	}
+	return s.best
+}
+
+// WithinDistanceBnB reports dist(q, g) ≤ sigma via the branch-and-bound
+// verifier.
+func WithinDistanceBnB(q, g *graph.Graph, sigma int) bool {
+	if sigma >= q.Size() {
+		return true
+	}
+	return MCCSSizeBnB(q, g, q.Size()-sigma) >= q.Size()-sigma
+}
+
+// DistanceBnB returns the exact subgraph distance via branch and bound.
+func DistanceBnB(q, g *graph.Graph) int {
+	return q.Size() - MCCSSizeBnB(q, g, 0)
+}
+
+const (
+	eUndecided int8 = iota
+	eMapped
+	eExcluded
+)
+
+type bnbState struct {
+	q, g    *graph.Graph
+	nodeMap []int  // query node -> data node, -1 unmapped
+	gUsed   []bool // data node already targeted
+	eState  []int8 // per query edge
+	mapped  int
+	best    int
+	minK    int
+}
+
+// expand recurses on one frontier edge: a query edge touching the mapped
+// part that is still undecided. Each frontier edge is either embedded (all
+// compatible ways) or excluded for the rest of the branch.
+func (s *bnbState) expand() {
+	if s.mapped > s.best {
+		s.best = s.mapped
+	}
+	if s.best >= s.q.Size() || (s.minK > 0 && s.best >= s.minK) {
+		return // cannot improve / threshold met
+	}
+	// Optimistic bound: everything undecided could still be mapped.
+	undecided := 0
+	for _, st := range s.eState {
+		if st == eUndecided {
+			undecided++
+		}
+	}
+	if s.mapped+undecided <= s.best {
+		return
+	}
+
+	// Pick one frontier edge.
+	ei := -1
+	for i, qe := range s.q.Edges() {
+		if s.eState[i] == eUndecided && (s.nodeMap[qe.U] != -1 || s.nodeMap[qe.V] != -1) {
+			ei = i
+			break
+		}
+	}
+	if ei == -1 {
+		return // no connected extension left
+	}
+	qe := s.q.Edges()[ei]
+
+	// Branch 1: map the edge, every compatible way.
+	u, v := qe.U, qe.V
+	if s.nodeMap[u] == -1 {
+		u, v = v, u // ensure u is the mapped endpoint
+	}
+	gu := s.nodeMap[u]
+	if s.nodeMap[v] != -1 {
+		// Both endpoints mapped: the data edge must exist with the label.
+		gv := s.nodeMap[v]
+		if s.g.HasEdge(gu, gv) && s.g.EdgeLabel(gu, gv) == s.q.EdgeLabelAt(ei) {
+			s.eState[ei] = eMapped
+			s.mapped++
+			s.expand()
+			s.mapped--
+			s.eState[ei] = eUndecided
+		}
+	} else {
+		for _, gw := range s.g.Neighbors(gu) {
+			if s.gUsed[gw] || s.g.Label(gw) != s.q.Label(v) {
+				continue
+			}
+			if s.g.EdgeLabel(gu, gw) != s.q.EdgeLabelAt(ei) {
+				continue
+			}
+			s.nodeMap[v] = gw
+			s.gUsed[gw] = true
+			s.eState[ei] = eMapped
+			s.mapped++
+			s.expand()
+			s.mapped--
+			s.eState[ei] = eUndecided
+			s.gUsed[gw] = false
+			s.nodeMap[v] = -1
+		}
+	}
+
+	// Branch 2: exclude the edge for this branch.
+	s.eState[ei] = eExcluded
+	s.expand()
+	s.eState[ei] = eUndecided
+}

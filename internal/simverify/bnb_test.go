@@ -1,0 +1,101 @@
+package simverify
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"prague/internal/graph"
+)
+
+func TestBnBMatchesEnumerationMCCS(t *testing.T) {
+	r := rand.New(rand.NewSource(83))
+	labels := []string{"C", "N", "O"}
+	for trial := 0; trial < 120; trial++ {
+		q := randomConnected(r, 3+r.Intn(3), labels, r.Intn(2))
+		g := randomConnected(r, 4+r.Intn(5), labels, r.Intn(4))
+		want := graph.MCCSSize(q, g, 0)
+		got := MCCSSizeBnB(q, g, 0)
+		if got != want {
+			t.Fatalf("trial %d: BnB %d, enumeration %d\n q=%v\n g=%v", trial, got, want, q, g)
+		}
+		if d := DistanceBnB(q, g); d != q.Size()-want {
+			t.Fatalf("trial %d: DistanceBnB=%d", trial, d)
+		}
+	}
+}
+
+func TestBnBThresholdSemantics(t *testing.T) {
+	r := rand.New(rand.NewSource(89))
+	labels := []string{"C", "N"}
+	for trial := 0; trial < 80; trial++ {
+		q := randomConnected(r, 3+r.Intn(3), labels, r.Intn(2))
+		g := randomConnected(r, 4+r.Intn(4), labels, r.Intn(3))
+		d := graph.SubgraphDistance(q, g)
+		for sigma := 0; sigma <= q.Size(); sigma++ {
+			if got, want := WithinDistanceBnB(q, g, sigma), d <= sigma; got != want {
+				t.Fatalf("trial %d σ=%d: got %v, dist=%d", trial, sigma, got, d)
+			}
+		}
+		// minK early exit: returns 0 when below the threshold, and a value
+		// ≥ minK when reachable.
+		mccs := q.Size() - d
+		for minK := 1; minK <= q.Size(); minK++ {
+			got := MCCSSizeBnB(q, g, minK)
+			if mccs >= minK && got < minK {
+				t.Fatalf("trial %d minK=%d: got %d, mccs=%d", trial, minK, got, mccs)
+			}
+			if mccs < minK && got != 0 {
+				t.Fatalf("trial %d minK=%d: got %d for unreachable threshold", trial, minK, got)
+			}
+		}
+	}
+}
+
+func TestBnBWithEdgeLabels(t *testing.T) {
+	mk := func(bonds []string) *graph.Graph {
+		g := graph.New(-1)
+		for i := 0; i <= len(bonds); i++ {
+			g.AddNode("C")
+		}
+		for i, b := range bonds {
+			if err := g.AddLabeledEdge(i, i+1, b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return g
+	}
+	q := mk([]string{"2", "2"})
+	g := mk([]string{"1", "2", "1"})
+	// Only one double bond in g: mccs = 1 ⇒ distance 1.
+	if got := MCCSSizeBnB(q, g, 0); got != 1 {
+		t.Fatalf("labeled mccs = %d, want 1", got)
+	}
+	if DistanceBnB(q, g) != 1 {
+		t.Fatal("labeled distance wrong")
+	}
+}
+
+func TestBnBQuickAgainstEnumeration(t *testing.T) {
+	f := func(seedQ, seedG int64) bool {
+		rq := rand.New(rand.NewSource(seedQ))
+		rg := rand.New(rand.NewSource(seedG))
+		labels := []string{"C", "N"}
+		q := randomConnected(rq, 2+rq.Intn(4), labels, rq.Intn(2))
+		g := randomConnected(rg, 3+rg.Intn(5), labels, rg.Intn(3))
+		return MCCSSizeBnB(q, g, 0) == graph.MCCSSize(q, g, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBnBEmptyQuery(t *testing.T) {
+	q := graph.New(-1)
+	q.AddNode("C")
+	g := graph.New(0)
+	g.AddNode("C")
+	if MCCSSizeBnB(q, g, 0) != 0 {
+		t.Error("edgeless query should have mccs 0")
+	}
+}

@@ -1,0 +1,110 @@
+package simverify
+
+import (
+	"math/rand"
+	"testing"
+
+	"prague/internal/graph"
+)
+
+func randomConnected(r *rand.Rand, n int, labels []string, extra int) *graph.Graph {
+	g := graph.New(-1)
+	for i := 0; i < n; i++ {
+		g.AddNode(labels[r.Intn(len(labels))])
+	}
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(i, r.Intn(i))
+	}
+	for k := 0; k < extra; k++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v && !g.HasEdge(u, v) {
+			g.MustAddEdge(u, v)
+		}
+	}
+	return g
+}
+
+func TestDistanceMatchesGraphPackage(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	labels := []string{"C", "N", "O"}
+	for trial := 0; trial < 60; trial++ {
+		q := randomConnected(r, 3+r.Intn(3), labels, r.Intn(2))
+		g := randomConnected(r, 4+r.Intn(5), labels, r.Intn(4))
+		v := NewVerifier(q)
+		if got, want := v.Distance(g), graph.SubgraphDistance(q, g); got != want {
+			t.Fatalf("trial %d: Distance=%d, graph.SubgraphDistance=%d", trial, got, want)
+		}
+		for sigma := 0; sigma <= q.Size(); sigma++ {
+			if got, want := v.WithinDistance(g, sigma), graph.SubgraphDistance(q, g) <= sigma; got != want {
+				t.Fatalf("trial %d σ=%d: WithinDistance=%v want %v", trial, sigma, got, want)
+			}
+		}
+	}
+}
+
+func TestMatchesAtLevelBoundaries(t *testing.T) {
+	q := graph.New(-1)
+	a := q.AddNode("C")
+	b := q.AddNode("C")
+	c := q.AddNode("N")
+	q.MustAddEdge(a, b)
+	q.MustAddEdge(b, c)
+	v := NewVerifier(q)
+	g := graph.New(0)
+	x := g.AddNode("C")
+	y := g.AddNode("C")
+	g.MustAddEdge(x, y)
+	if !v.MatchesAtLevel(g, 0) {
+		t.Error("level 0 must always match")
+	}
+	if !v.MatchesAtLevel(g, 1) {
+		t.Error("C-C fragment should match")
+	}
+	if v.MatchesAtLevel(g, 2) {
+		t.Error("whole query cannot embed in a single edge")
+	}
+	if v.MatchesAtLevel(g, 5) {
+		t.Error("level above |q| should not match")
+	}
+	if v.Query() != q {
+		t.Error("Query accessor broken")
+	}
+}
+
+func TestLevelFragmentsRange(t *testing.T) {
+	q := graph.New(-1)
+	a := q.AddNode("C")
+	b := q.AddNode("C")
+	q.MustAddEdge(a, b)
+	v := NewVerifier(q)
+	if v.LevelFragments(0) != nil || v.LevelFragments(2) != nil {
+		t.Error("out-of-range levels should return nil")
+	}
+	if len(v.LevelFragments(1)) != 1 {
+		t.Error("single-edge query has one level-1 class")
+	}
+}
+
+func TestContainsAny(t *testing.T) {
+	edgeCC := graph.New(-1)
+	edgeCC.AddNode("C")
+	edgeCC.AddNode("C")
+	edgeCC.MustAddEdge(0, 1)
+	edgeNN := graph.New(-1)
+	edgeNN.AddNode("N")
+	edgeNN.AddNode("N")
+	edgeNN.MustAddEdge(0, 1)
+	g := graph.New(0)
+	g.AddNode("C")
+	g.AddNode("C")
+	g.MustAddEdge(0, 1)
+	if !ContainsAny([]*graph.Graph{edgeNN, edgeCC}, g) {
+		t.Error("should find C-C")
+	}
+	if ContainsAny([]*graph.Graph{edgeNN}, g) {
+		t.Error("should not find N-N")
+	}
+	if ContainsAny(nil, g) {
+		t.Error("empty fragment set matched")
+	}
+}

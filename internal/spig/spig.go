@@ -1,0 +1,444 @@
+// Package spig implements the spindle-shaped graph (SPIG) of the paper's §V:
+// for each new edge eℓ the user draws, a SPIG records every connected
+// subgraph of the query fragment that contains eℓ, organized into levels by
+// size, each vertex carrying the fragment's canonical code and its Fragment
+// List (frequent id, DIF id, frequent-subgraph id set Φ, DIF-subgraph id set
+// Υ) with respect to the action-aware indexes.
+//
+// Two representational notes (see DESIGN.md):
+//
+//   - A SPIG built at step ℓ ranges over the query fragment *as of* step ℓ,
+//     so across the SPIG set S every connected subgraph of the current query
+//     appears in exactly one SPIG — the one of its largest edge label. That is
+//     what makes Lemma 1 (N(k) ≤ C(n,k)) and Lemma 2 hold.
+//
+//   - A vertex is an isomorphism class: distinct edge subsets with the same
+//     canonical code collapse into one vertex (the paper's "unique vertexes"),
+//     and the vertex keeps every realizing edge-label set so that query
+//     modification (Algorithm 6) can drop exactly the realizations containing
+//     a deleted edge.
+package spig
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"prague/internal/graph"
+	"prague/internal/index"
+	"prague/internal/intset"
+	"prague/internal/query"
+)
+
+// Vertex is one SPIG vertex: an isomorphism class of connected query
+// subgraphs containing the SPIG's new edge.
+type Vertex struct {
+	SpigLabel int    // ℓ of the owning SPIG
+	Level     int    // fragment size |g|
+	Code      string // cam(g): canonical code of the fragment
+	Frag      *graph.Graph
+
+	// Reps holds every edge-label set (sorted step labels) realizing this
+	// class — the Edge Lists L_E(g) of the paper.
+	Reps [][]int
+
+	// Fragment List (Definition 4). Kind tells which case applies.
+	Kind   index.Kind
+	FreqID int   // a2fId(g) when Kind == KindFrequent, else -1
+	DifID  int   // a2iId(g) when Kind == KindDIF, else -1
+	Phi    []int // frequent subgraph id set Φ(g) (largest frequent subgraphs)
+	Ups    []int // DIF subgraph id set Υ(g) (all DIF subgraphs)
+}
+
+// ContainsStep reports whether every realization of the vertex uses the
+// given edge step; AnyRepWithout returns a realization avoiding it, if any.
+func (v *Vertex) ContainsStep(step int) bool {
+	for _, rep := range v.Reps {
+		if !intset.Contains(rep, step) {
+			return false
+		}
+	}
+	return true
+}
+
+// SPIG is the spindle-shaped graph of one formulation step.
+type SPIG struct {
+	L      int // the new edge's step label
+	levels [][]*Vertex
+	byCode []map[string]*Vertex
+}
+
+// Label returns ℓ, the step label of the new edge this SPIG was built for.
+func (s *SPIG) Label() int { return s.L }
+
+// MaxLevel returns the highest level index (the query size at construction).
+func (s *SPIG) MaxLevel() int { return len(s.levels) - 1 }
+
+// Level returns the vertices at level k (fragments with k edges), or nil.
+func (s *SPIG) Level(k int) []*Vertex {
+	if k < 1 || k >= len(s.levels) {
+		return nil
+	}
+	return s.levels[k]
+}
+
+// Source returns the level-1 vertex (the new edge itself), or nil if it has
+// been removed by modifications.
+func (s *SPIG) Source() *Vertex {
+	if len(s.levels) > 1 && len(s.levels[1]) == 1 {
+		return s.levels[1][0]
+	}
+	return nil
+}
+
+// FindByCode returns the vertex with the given canonical code at level k.
+func (s *SPIG) FindByCode(k int, code string) *Vertex {
+	if k < 1 || k >= len(s.byCode) {
+		return nil
+	}
+	return s.byCode[k][code]
+}
+
+// NumVertices returns the total vertex count across levels.
+func (s *SPIG) NumVertices() int {
+	n := 0
+	for _, lv := range s.levels {
+		n += len(lv)
+	}
+	return n
+}
+
+// Set is the SPIG set S maintained across formulation steps.
+type Set struct {
+	spigs map[int]*SPIG
+	order []int // ascending ℓ
+	idx   *index.Set
+}
+
+// NewSet returns an empty SPIG set bound to the action-aware indexes.
+func NewSet(idx *index.Set) *Set {
+	return &Set{spigs: map[int]*SPIG{}, idx: idx}
+}
+
+// Spig returns the SPIG for edge label ℓ, or nil.
+func (S *Set) Spig(ell int) *SPIG { return S.spigs[ell] }
+
+// Labels returns the SPIG labels in ascending order.
+func (S *Set) Labels() []int { return append([]int(nil), S.order...) }
+
+// NumVertices returns the total vertex count across all SPIGs.
+func (S *Set) NumVertices() int {
+	n := 0
+	for _, s := range S.spigs {
+		n += s.NumVertices()
+	}
+	return n
+}
+
+// repKey canonicalizes a sorted step set for dedup.
+func repKey(steps []int) string {
+	var b strings.Builder
+	for i, s := range steps {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(s))
+	}
+	return b.String()
+}
+
+// Construct implements Algorithm 2 (SpigConstruct): it builds the SPIG for
+// the new edge eℓ over the current query fragment, computing each vertex's
+// Fragment List from the action-aware indexes or by inheritance from the
+// SPIG set, and adds it to S.
+func (S *Set) Construct(q *query.Query, ell int) (*SPIG, error) {
+	if _, ok := q.Edge(ell); !ok {
+		return nil, fmt.Errorf("spig: query has no edge with step %d", ell)
+	}
+	if _, ok := S.spigs[ell]; ok {
+		return nil, fmt.Errorf("spig: SPIG for e%d already constructed", ell)
+	}
+	// A SPIG ranges over the query fragment as of step ℓ: only edges with
+	// step labels ≤ ℓ participate. In the ordinary flow every current edge
+	// qualifies; when SPIGs are rebuilt out of order (node relabeling), the
+	// filter preserves the "each subgraph lives in the SPIG of its largest
+	// edge label" invariant.
+	n := 0
+	for _, s := range q.Steps() {
+		if s <= ell {
+			n++
+		}
+	}
+	adj := map[int][]int{}
+	for s, neighbors := range q.AdjacentSteps() {
+		if s > ell {
+			continue
+		}
+		for _, t := range neighbors {
+			if t <= ell {
+				adj[s] = append(adj[s], t)
+			}
+		}
+	}
+
+	s := &SPIG{
+		L:      ell,
+		levels: make([][]*Vertex, n+1),
+		byCode: make([]map[string]*Vertex, n+1),
+	}
+	for k := 1; k <= n; k++ {
+		s.byCode[k] = map[string]*Vertex{}
+	}
+
+	// Level-by-level growth of connected step subsets containing eℓ.
+	subsets := [][]int{{ell}}
+	for k := 1; k <= n; k++ {
+		// Group this level's subsets into isomorphism classes.
+		for _, steps := range subsets {
+			frag, connected := q.FragmentOf(steps)
+			if !connected {
+				// Cannot happen: subsets grow by edge adjacency.
+				return nil, fmt.Errorf("spig: internal: disconnected subset %v", steps)
+			}
+			code := graph.CanonicalCode(frag)
+			v := s.byCode[k][code]
+			if v == nil {
+				v = &Vertex{
+					SpigLabel: ell, Level: k, Code: code, Frag: frag,
+					FreqID: -1, DifID: -1,
+				}
+				s.byCode[k][code] = v
+				s.levels[k] = append(s.levels[k], v)
+			}
+			v.Reps = append(v.Reps, intset.Clone(steps))
+		}
+		// Fragment lists for the finished level (parents at k-1 are final).
+		for _, v := range s.levels[k] {
+			S.classify(q, s, v)
+		}
+		if k == n {
+			break
+		}
+		// Next level's subsets.
+		seen := map[string]bool{}
+		var next [][]int
+		for _, steps := range subsets {
+			for _, t := range steps {
+				for _, u := range adj[t] {
+					if intset.Contains(steps, u) {
+						continue
+					}
+					ns := intset.Normalize(append(intset.Clone(steps), u))
+					key := repKey(ns)
+					if !seen[key] {
+						seen[key] = true
+						next = append(next, ns)
+					}
+				}
+			}
+		}
+		subsets = next
+	}
+
+	S.spigs[ell] = s
+	S.order = append(S.order, ell)
+	sort.Ints(S.order)
+	return s, nil
+}
+
+// classify fills in the Fragment List of v per Definition 4: an indexed
+// fragment gets its a2fId/a2iId; a NIF inherits Φ from its largest frequent
+// subgraphs and Υ from all of its subgraphs' DIF ids, via the SPIG parents
+// (largest subgraphs containing eℓ) and the cross-SPIG vertex of g−eℓ.
+func (S *Set) classify(q *query.Query, s *SPIG, v *Vertex) {
+	kind, id := S.idx.Lookup(v.Code)
+	v.Kind = kind
+	switch kind {
+	case index.KindFrequent:
+		v.FreqID = id
+		return
+	case index.KindDIF:
+		v.DifID = id
+		return
+	}
+
+	var phi, ups []int
+	inherit := func(p *Vertex) {
+		switch p.Kind {
+		case index.KindFrequent:
+			phi = append(phi, p.FreqID)
+		case index.KindDIF:
+			ups = append(ups, p.DifID)
+		default:
+			ups = append(ups, p.Ups...)
+		}
+	}
+
+	for _, rep := range v.Reps {
+		for _, t := range rep {
+			sub := intset.Diff(rep, []int{t})
+			if len(sub) == 0 {
+				continue
+			}
+			frag, connected := q.FragmentOf(sub)
+			if !connected {
+				continue
+			}
+			code := graph.CanonicalCode(frag)
+			if t != s.L {
+				// Largest subgraph containing eℓ: a parent in this SPIG.
+				if p := s.FindByCode(v.Level-1, code); p != nil {
+					inherit(p)
+				}
+			} else {
+				// g − eℓ: lives in the SPIG of its largest edge label.
+				lp := sub[len(sub)-1]
+				if ps := S.spigs[lp]; ps != nil {
+					if p := ps.FindByCode(v.Level-1, code); p != nil {
+						inherit(p)
+					}
+				}
+			}
+		}
+	}
+	v.Phi = intset.Normalize(phi)
+	v.Ups = intset.Normalize(ups)
+}
+
+// DeleteEdge updates the SPIG set for the deletion of edge e_d (Algorithm 6
+// lines 12-14): the SPIG S_d is removed entirely, and every vertex
+// realization containing e_d is dropped from the remaining SPIGs (vertices
+// with no surviving realization disappear).
+func (S *Set) DeleteEdge(d int) {
+	delete(S.spigs, d)
+	keep := S.order[:0]
+	for _, l := range S.order {
+		if l != d {
+			keep = append(keep, l)
+		}
+	}
+	S.order = keep
+
+	for _, s := range S.spigs {
+		for k := 1; k < len(s.levels); k++ {
+			var survivors []*Vertex
+			for _, v := range s.levels[k] {
+				var reps [][]int
+				for _, rep := range v.Reps {
+					if !intset.Contains(rep, d) {
+						reps = append(reps, rep)
+					}
+				}
+				if len(reps) > 0 {
+					v.Reps = reps
+					survivors = append(survivors, v)
+				} else {
+					delete(s.byCode[k], v.Code)
+				}
+			}
+			s.levels[k] = survivors
+		}
+	}
+}
+
+// Remove discards the SPIG for edge ℓ without touching others (used when a
+// formulation step is rolled back entirely).
+func (S *Set) Remove(ell int) {
+	delete(S.spigs, ell)
+	keep := S.order[:0]
+	for _, l := range S.order {
+		if l != ell {
+			keep = append(keep, l)
+		}
+	}
+	S.order = keep
+}
+
+// LevelVertices returns the vertices at level k across every SPIG in S,
+// deduplicated by canonical code (isomorphic classes in different SPIGs have
+// identical fragment lists).
+func (S *Set) LevelVertices(k int) []*Vertex {
+	seen := map[string]bool{}
+	var out []*Vertex
+	for _, l := range S.order {
+		for _, v := range S.spigs[l].Level(k) {
+			if !seen[v.Code] {
+				seen[v.Code] = true
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// VerticesAtLevel counts level-k vertices across S (before cross-SPIG
+// dedup), the N(k) of Lemma 1.
+func (S *Set) VerticesAtLevel(k int) int {
+	n := 0
+	for _, s := range S.spigs {
+		n += len(s.Level(k))
+	}
+	return n
+}
+
+// FindByCode finds a vertex with the given code at level k in any SPIG.
+func (S *Set) FindByCode(k int, code string) *Vertex {
+	for _, l := range S.order {
+		if v := S.spigs[l].FindByCode(k, code); v != nil {
+			return v
+		}
+	}
+	return nil
+}
+
+// Dump renders a human-readable view of the SPIG (its levels, classes,
+// realizations, and fragment lists) for debugging and the CLI.
+func (s *SPIG) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "SPIG S%d (levels 1..%d)\n", s.L, s.MaxLevel())
+	for k := 1; k <= s.MaxLevel(); k++ {
+		if len(s.levels[k]) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  level %d:\n", k)
+		for _, v := range s.levels[k] {
+			fmt.Fprintf(&b, "    %-10s cam=%s reps=%v", v.Kind, v.Code, v.Reps)
+			switch {
+			case v.FreqID >= 0:
+				fmt.Fprintf(&b, " a2fId=%d", v.FreqID)
+			case v.DifID >= 0:
+				fmt.Fprintf(&b, " a2iId=%d", v.DifID)
+			default:
+				fmt.Fprintf(&b, " Φ=%v Υ=%v", v.Phi, v.Ups)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// Dump renders every SPIG in the set.
+func (S *Set) Dump() string {
+	var b strings.Builder
+	for _, l := range S.order {
+		b.WriteString(S.spigs[l].Dump())
+	}
+	return b.String()
+}
+
+// Target returns the vertex representing the entire current query fragment:
+// the unique vertex at level |q| in the SPIG of the query's largest edge
+// label.
+func (S *Set) Target(q *query.Query) *Vertex {
+	last := q.LastStep()
+	s := S.spigs[last]
+	if s == nil {
+		return nil
+	}
+	lv := s.Level(q.Size())
+	if len(lv) != 1 {
+		return nil
+	}
+	return lv[0]
+}

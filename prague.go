@@ -1,0 +1,240 @@
+// Package prague is a from-scratch Go implementation of PRAGUE (PRactical
+// visuAl Graph QUery blEnder), the blended visual subgraph query system of
+// Jin, Bhowmick, Choi and Zhou (ICDE 2012).
+//
+// PRAGUE interleaves visual query formulation with query processing: after
+// every edge a user draws, the engine evaluates the partial query fragment
+// against action-aware indexes using spindle-shaped graphs (SPIGs), so that
+// when the user finally presses Run, most of the work has already happened
+// during GUI latency. The engine transparently degrades from subgraph
+// containment search to MCCS-based subgraph similarity search when the
+// exact candidate set empties, suggests query modifications, and supports
+// cheap edge deletion at any time.
+//
+// Typical use:
+//
+//	db, _ := prague.GenerateMolecules(2000, 42)          // or LoadDatabase
+//	ix, _ := prague.BuildIndexes(db, prague.IndexOptions{Alpha: 0.1, Beta: 6})
+//	s, _ := prague.NewSession(db, ix, 3)                 // σ = 3
+//	c1 := s.AddNode("C")
+//	c2 := s.AddNode("C")
+//	out, _ := s.AddEdge(c1, c2)                          // evaluated immediately
+//	if out.NeedsChoice {                                 // no exact match left
+//		s.ChooseSimilarity()                         // ... or s.DeleteEdge
+//	}
+//	results, _ := s.Run()                                // SRT-cheap finish
+package prague
+
+import (
+	"fmt"
+	"io"
+
+	"prague/internal/core"
+	"prague/internal/dataset"
+	"prague/internal/graph"
+	"prague/internal/index"
+	"prague/internal/mining"
+	"prague/internal/patterns"
+)
+
+// Graph is a connected, undirected, node-labeled graph — the data model for
+// both data graphs and queries.
+type Graph = graph.Graph
+
+// Edge is an undirected edge between node indices.
+type Edge = graph.Edge
+
+// NewGraph returns an empty graph with the given identifier.
+func NewGraph(id int) *Graph { return graph.New(id) }
+
+// Session is a PRAGUE formulation session: one evolving visual query over a
+// database, evaluated after every action. See the package example for the
+// action flow (AddNode / AddEdge / ChooseSimilarity / DeleteEdge /
+// SuggestDeletion / Run).
+type Session = core.Engine
+
+// Result is one query answer: a graph identifier and its subgraph distance
+// to the final query (0 = exact containment match).
+type Result = core.Result
+
+// StepOutcome reports what a session precomputed after one action.
+type StepOutcome = core.StepOutcome
+
+// Status classifies the query fragment (frequent / infrequent / similar).
+type Status = core.Status
+
+// Suggestion is the engine's modification recommendation when no exact
+// match remains.
+type Suggestion = core.Suggestion
+
+// Indexes bundles the action-aware frequent (A²F) and infrequent (A²I)
+// indexes PRAGUE evaluates against.
+type Indexes = index.Set
+
+// DatasetStats summarizes a database (sizes, density, label vocabulary).
+type DatasetStats = dataset.DatasetStats
+
+// Database is an immutable collection of data graphs with dense identifiers.
+type Database struct {
+	graphs []*Graph
+}
+
+// NewDatabase wraps a set of graphs as a database, renumbering identifiers
+// densely in slice order.
+func NewDatabase(graphs []*Graph) (*Database, error) {
+	if len(graphs) == 0 {
+		return nil, fmt.Errorf("prague: empty database")
+	}
+	for i, g := range graphs {
+		if g == nil {
+			return nil, fmt.Errorf("prague: nil graph at position %d", i)
+		}
+		if !g.Connected() {
+			return nil, fmt.Errorf("prague: graph at position %d is disconnected", i)
+		}
+		g.ID = i
+	}
+	return &Database{graphs: graphs}, nil
+}
+
+// LoadDatabase reads a database in the conventional gSpan text format
+// ("t # id" / "v idx label" / "e u v" records).
+func LoadDatabase(r io.Reader) (*Database, error) {
+	graphs, err := graph.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return NewDatabase(graphs)
+}
+
+// Save writes the database in gSpan text format.
+func (db *Database) Save(w io.Writer) error { return graph.WriteAll(w, db.graphs) }
+
+// GenerateMolecules creates an AIDS-Antiviral-like database of n seeded
+// synthetic molecule graphs (avg ≈ 25 nodes / 27 edges, carbon-dominated).
+func GenerateMolecules(n int, seed int64) (*Database, error) {
+	graphs, err := dataset.Molecules(dataset.MoleculeOptions{NumGraphs: n, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return &Database{graphs: graphs}, nil
+}
+
+// GenerateBondedMolecules is GenerateMolecules with bond-order edge labels
+// ("1"/"2"/"3"); queries over such databases can constrain bond types via
+// Session.AddLabeledEdge.
+func GenerateBondedMolecules(n int, seed int64) (*Database, error) {
+	graphs, err := dataset.Molecules(dataset.MoleculeOptions{NumGraphs: n, Seed: seed, BondLabels: true})
+	if err != nil {
+		return nil, err
+	}
+	return &Database{graphs: graphs}, nil
+}
+
+// GenerateSynthetic creates a GraphGen-like database of n seeded synthetic
+// graphs (avg 30 edges, density 0.1, 20 labels).
+func GenerateSynthetic(n int, seed int64) (*Database, error) {
+	graphs, err := dataset.Synthetic(dataset.SyntheticOptions{NumGraphs: n, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return &Database{graphs: graphs}, nil
+}
+
+// Len returns the number of data graphs.
+func (db *Database) Len() int { return len(db.graphs) }
+
+// Graphs returns the data graphs. The slice and graphs are owned by the
+// database and must not be mutated.
+func (db *Database) Graphs() []*Graph { return db.graphs }
+
+// Graph returns the data graph with the given identifier.
+func (db *Database) Graph(id int) (*Graph, error) {
+	if id < 0 || id >= len(db.graphs) {
+		return nil, fmt.Errorf("prague: no graph with id %d", id)
+	}
+	return db.graphs[id], nil
+}
+
+// Stats computes summary statistics.
+func (db *Database) Stats() DatasetStats { return dataset.Stats(db.graphs) }
+
+// IndexOptions configures offline index construction.
+type IndexOptions struct {
+	// Alpha is the minimum support threshold α ∈ (0,1): fragments with
+	// support ≥ α·|D| are frequent (default 0.1, the paper's AIDS setting).
+	Alpha float64
+	// Beta is the fragment size threshold β splitting the memory-resident
+	// MF-index from the disk-resident DF-index (default 4).
+	Beta int
+	// MaxFragmentSize caps mined fragment sizes (default 8; visual queries
+	// are small, and mining cost grows steeply with this).
+	MaxFragmentSize int
+}
+
+// BuildIndexes mines the database (gSpan + DIF extraction) and constructs
+// the action-aware indexes. This is the offline preprocessing step; sessions
+// share the resulting Indexes.
+func BuildIndexes(db *Database, opt IndexOptions) (*Indexes, error) {
+	if opt.Alpha == 0 {
+		opt.Alpha = 0.1
+	}
+	if opt.Beta == 0 {
+		opt.Beta = 4
+	}
+	if opt.MaxFragmentSize == 0 {
+		opt.MaxFragmentSize = 8
+	}
+	res, err := mining.Mine(db.graphs, mining.Options{
+		MinSupportRatio:         opt.Alpha,
+		MaxSize:                 opt.MaxFragmentSize,
+		IncludeZeroSupportPairs: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return index.Build(res, opt.Alpha, opt.Beta)
+}
+
+// SaveIndexes persists the indexes into dir; the DF-index component is laid
+// out for lazy, cluster-at-a-time loading.
+func SaveIndexes(ix *Indexes, dir string) error { return ix.Save(dir) }
+
+// LoadIndexes loads persisted indexes from dir.
+func LoadIndexes(dir string) (*Indexes, error) { return index.Load(dir) }
+
+// NewSession starts a PRAGUE session over the database with subgraph
+// distance threshold sigma (how many query edges an approximate match may
+// miss).
+func NewSession(db *Database, ix *Indexes, sigma int) (*Session, error) {
+	return core.New(db.graphs, ix, sigma)
+}
+
+// Canned patterns for Session.AddPattern — the drag-and-drop composition
+// style the paper's §I footnote mentions (e.g. dropping a whole benzene
+// ring); internally each pattern edge is still drawn and evaluated
+// one at a time, so all blending guarantees hold.
+
+// Benzene returns the six-carbon ring pattern (unlabeled edges).
+func Benzene() *Graph { return patterns.Benzene() }
+
+// KekuleBenzene returns the benzene ring with alternating single/double
+// bond labels, for edge-labeled databases.
+func KekuleBenzene() *Graph { return patterns.KekuleBenzene() }
+
+// BondedRing returns a cycle whose edges carry per-edge bond labels.
+func BondedRing(labels, bonds []string) (*Graph, error) {
+	return patterns.BondedRing(labels, bonds)
+}
+
+// Ring returns a cycle pattern over the given node labels (≥ 3).
+func Ring(labels ...string) (*Graph, error) { return patterns.Ring(labels...) }
+
+// Chain returns a path pattern over the given node labels (≥ 2).
+func Chain(labels ...string) (*Graph, error) { return patterns.Chain(labels...) }
+
+// Star returns a star pattern: center label plus ≥ 1 leaf labels; node 0 is
+// the center.
+func Star(center string, leaves ...string) (*Graph, error) {
+	return patterns.Star(center, leaves...)
+}

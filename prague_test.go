@@ -1,0 +1,135 @@
+package prague
+
+import (
+	"bytes"
+	"testing"
+)
+
+func smallDB(t *testing.T) *Database {
+	t.Helper()
+	db, err := GenerateMolecules(200, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestDatabaseConstruction(t *testing.T) {
+	if _, err := NewDatabase(nil); err == nil {
+		t.Error("empty database accepted")
+	}
+	if _, err := NewDatabase([]*Graph{nil}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	g := NewGraph(7)
+	g.AddNode("C")
+	g.AddNode("C")
+	db, err := NewDatabase([]*Graph{g})
+	if err == nil {
+		t.Error("disconnected graph accepted")
+	}
+	g.MustAddEdge(0, 1)
+	db, err = NewDatabase([]*Graph{g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := db.Graph(0); got.ID != 0 {
+		t.Error("ids not renumbered")
+	}
+	if _, err := db.Graph(5); err == nil {
+		t.Error("out-of-range id accepted")
+	}
+}
+
+func TestDatabaseRoundTrip(t *testing.T) {
+	db := smallDB(t)
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadDatabase(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != db.Len() {
+		t.Fatalf("round trip lost graphs: %d vs %d", back.Len(), db.Len())
+	}
+	s := back.Stats()
+	if s.NumGraphs != db.Len() || s.AvgEdges <= 0 {
+		t.Error("stats broken after round trip")
+	}
+}
+
+func TestEndToEndContainment(t *testing.T) {
+	db := smallDB(t)
+	ix, err := BuildIndexes(db, IndexOptions{Alpha: 0.1, Beta: 3, MaxFragmentSize: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Formulate a query that certainly exists: the first two edges of the
+	// first data graph.
+	g0, _ := db.Graph(0)
+	e0 := g0.Edges()[0]
+	s, err := NewSession(db, ix, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := s.AddNode(g0.Label(e0.U))
+	b := s.AddNode(g0.Label(e0.V))
+	out, err := s.AddEdge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NeedsChoice {
+		t.Fatal("an edge sampled from the database should have matches")
+	}
+	results, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("no results for an existing edge")
+	}
+	found := false
+	for _, r := range results {
+		if r.GraphID == 0 {
+			found = true
+		}
+		if r.Distance != 0 {
+			t.Error("containment result with nonzero distance")
+		}
+	}
+	if !found {
+		t.Error("source graph missing from results")
+	}
+}
+
+func TestEndToEndPersistence(t *testing.T) {
+	db := smallDB(t)
+	ix, err := BuildIndexes(db, IndexOptions{Alpha: 0.1, Beta: 3, MaxFragmentSize: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := SaveIndexes(ix, dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadIndexes(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSession(db, loaded, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateSynthetic(t *testing.T) {
+	db, err := GenerateSynthetic(100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := db.Stats()
+	if s.AvgEdges < 20 || s.AvgEdges > 40 {
+		t.Errorf("synthetic avg edges %.1f", s.AvgEdges)
+	}
+}
