@@ -4,6 +4,11 @@
 // column of the paper's Figure 3 — plus similarity fallback, modification
 // suggestions, and ranked results.
 //
+// The CLI runs on the concurrent session service (prague.NewService): the
+// interactive session is one managed session, so `run` refuses until a
+// pending Modify-or-SimQuery choice is resolved, and `metrics` shows what
+// the service measured so far.
+//
 // Usage:
 //
 //	praguecli -db aids.txt -index ./aids-index -sigma 3
@@ -16,14 +21,17 @@
 //	sim                continue as a similarity query (after an empty Rq)
 //	suggest            ask which edge to delete
 //	delete <step>      delete the edge drawn at the given step
-//	status             show the current engine state
+//	status             show the current session state
 //	run                execute the query and print ranked results
 //	explain <id>       show how a data graph matches (MCCS highlighting)
+//	metrics            print the service metrics snapshot as JSON
 //	quit
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -45,14 +53,19 @@ func main() {
 		generate = flag.Int("generate", 0, "generate an AIDS-like demo database of this size instead of -db")
 		sigma    = flag.Int("sigma", 3, "subgraph distance threshold σ")
 		alpha    = flag.Float64("alpha", 0.1, "α for on-the-fly index construction")
+		workers  = flag.Int("workers", 0, "verification worker pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
-	db, err := loadDB(*dbPath, *generate)
+	graphs, err := loadGraphs(*dbPath, *generate)
 	if err != nil {
 		fail(err)
 	}
-	fmt.Printf("database: %d graphs\n", len(db))
+	db, err := prague.NewDatabase(graphs)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("database: %d graphs\n", db.Len())
 
 	var idx *index.Set
 	if *indexDir != "" {
@@ -60,7 +73,7 @@ func main() {
 	} else {
 		fmt.Println("mining indexes (use -index to load persisted ones)...")
 		var mined *mining.Result
-		mined, err = mining.Mine(db, mining.Options{MinSupportRatio: *alpha, MaxSize: 6, IncludeZeroSupportPairs: true})
+		mined, err = mining.Mine(db.Graphs(), mining.Options{MinSupportRatio: *alpha, MaxSize: 6, IncludeZeroSupportPairs: true})
 		if err == nil {
 			idx, err = index.Build(mined, *alpha, 4)
 		}
@@ -69,7 +82,16 @@ func main() {
 		fail(err)
 	}
 
-	engine, err := core.New(db, idx, *sigma)
+	svc, err := prague.NewService(db, idx,
+		prague.WithSigma(*sigma),
+		prague.WithVerifyWorkers(*workers))
+	if err != nil {
+		fail(err)
+	}
+	defer svc.Close()
+
+	ctx := context.Background()
+	ss, err := svc.Create(ctx)
 	if err != nil {
 		fail(err)
 	}
@@ -84,13 +106,17 @@ func main() {
 		fields := strings.Fields(line)
 		switch fields[0] {
 		case "help":
-			fmt.Println("commands: node <label> | edge <u> <v> [lbl] | sim | suggest | delete <step> | status | run | explain <id> | quit")
+			fmt.Println("commands: node <label> | edge <u> <v> [lbl] | sim | suggest | delete <step> | status | run | explain <id> | metrics | quit")
 		case "node":
 			if len(fields) != 2 {
 				fmt.Println("usage: node <label>")
 				continue
 			}
-			id := engine.AddNode(fields[1])
+			id, err := ss.AddNode(fields[1])
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
 			fmt.Printf("node %d (%s)\n", id, fields[1])
 		case "edge":
 			if len(fields) != 3 && len(fields) != 4 {
@@ -107,17 +133,21 @@ func main() {
 			if len(fields) == 4 {
 				label = fields[3]
 			}
-			out, err := engine.AddLabeledEdge(u, v, label)
+			out, err := ss.AddLabeledEdge(ctx, u, v, label)
 			if err != nil {
 				fmt.Println("error:", err)
 				continue
 			}
 			printOutcome(out)
 		case "sim":
-			out := engine.ChooseSimilarity()
+			out, err := ss.ChooseSimilarity(ctx)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
 			printOutcome(out)
 		case "suggest":
-			sug, err := engine.SuggestDeletion()
+			sug, err := ss.SuggestDeletion()
 			if err != nil {
 				fmt.Println("error:", err)
 				continue
@@ -133,19 +163,28 @@ func main() {
 				fmt.Println("step must be a number")
 				continue
 			}
-			out, derr := engine.DeleteEdge(step)
+			out, derr := ss.DeleteEdge(ctx, step)
 			if derr != nil {
 				fmt.Println("error:", derr)
 				continue
 			}
 			printOutcome(out)
 		case "status":
-			free, ver, total := engine.CandidateCounts()
-			fmt.Printf("|q|=%d steps=%v similarity=%v awaiting-choice=%v |Rq|=%d Rfree=%d Rver=%d total=%d\n",
-				engine.Query().Size(), engine.Query().Steps(), engine.SimilarityMode(), engine.AwaitingChoice(),
-				len(engine.Rq()), free, ver, total)
+			info, err := ss.Describe()
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("session %s: |q|=%d steps=%v similarity=%v awaiting-choice=%v |Rq|=%d Rfree=%d Rver=%d total=%d\n",
+				info.ID, info.QuerySize, info.Steps, info.SimilarityMode, info.AwaitingChoice,
+				info.ExactCount, info.FreeCount, info.VerCount, info.TotalCount)
 		case "spig":
-			fmt.Print(engine.Spigs().Dump())
+			dump, err := ss.SpigDump()
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Print(dump)
 		case "explain":
 			if len(fields) != 2 {
 				fmt.Println("usage: explain <graph id>")
@@ -156,7 +195,7 @@ func main() {
 				fmt.Println("graph id must be a number")
 				continue
 			}
-			m, merr := engine.Explain(gid)
+			m, merr := ss.Explain(gid)
 			if merr != nil {
 				fmt.Println("error:", merr)
 				continue
@@ -165,18 +204,27 @@ func main() {
 				m.GraphID, m.Distance, m.MatchedSteps, m.MissingSteps)
 			fmt.Printf("  node map (query node -> data node): %v\n", m.NodeMap)
 		case "run":
-			results, err := engine.Run()
+			results, err := ss.Run(ctx)
 			if err != nil {
-				fmt.Println("error:", err)
+				if errors.Is(err, prague.ErrAwaitingChoice) {
+					fmt.Println("no exact match left — resolve the choice first: 'sim' to continue approximately, or 'suggest'/'delete' to modify")
+				} else {
+					fmt.Println("error:", err)
+				}
 				continue
 			}
-			fmt.Printf("%d results (SRT %v):\n", len(results), engine.Stats().RunTime.Round(10_000))
+			info, _ := ss.Describe()
+			fmt.Printf("%d results (SRT %v):\n", len(results), info.SRT.Round(10_000))
 			for i, r := range results {
 				if i == 20 {
 					fmt.Printf("  ... and %d more\n", len(results)-20)
 					break
 				}
 				fmt.Printf("  graph %d  distance %d\n", r.GraphID, r.Distance)
+			}
+		case "metrics":
+			if err := svc.Snapshot().WriteJSON(os.Stdout); err != nil {
+				fmt.Println("error:", err)
 			}
 		case "quit", "exit":
 			return
@@ -198,7 +246,7 @@ func printOutcome(out core.StepOutcome) {
 	}
 }
 
-func loadDB(path string, generate int) ([]*graph.Graph, error) {
+func loadGraphs(path string, generate int) ([]*graph.Graph, error) {
 	if generate > 0 {
 		db, err := prague.GenerateMolecules(generate, 42)
 		if err != nil {

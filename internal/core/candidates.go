@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"prague/internal/index"
 	"prague/internal/intset"
 	"prague/internal/spig"
@@ -83,8 +85,9 @@ func (e *Engine) allIds() []int {
 // level's SPIG vertices into verification-free candidates (vertices indexed
 // as frequent fragments or DIFs — the data graph provably contains the
 // level-i fragment, hence dist ≤ |q|-i) and candidates needing verification
-// (NIF vertices, whose candidate sets are only upper bounds).
-func (e *Engine) similarSubCandidates() (rfree, rver levelSets) {
+// (NIF vertices, whose candidate sets are only upper bounds). Cancellation
+// is polled between levels.
+func (e *Engine) similarSubCandidates(ctx context.Context) (rfree, rver levelSets, err error) {
 	rfree, rver = levelSets{}, levelSets{}
 	n := e.q.Size()
 	lo := n - e.sigma
@@ -92,6 +95,9 @@ func (e *Engine) similarSubCandidates() (rfree, rver levelSets) {
 		lo = 1
 	}
 	for i := n - 1; i >= lo; i-- {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, nil, cerr
+		}
 		var free, ver []int
 		for _, v := range e.spigs.LevelVertices(i) {
 			ids := e.exactSubCandidates(v)
@@ -109,5 +115,5 @@ func (e *Engine) similarSubCandidates() (rfree, rver levelSets) {
 			rver[i] = ver
 		}
 	}
-	return rfree, rver
+	return rfree, rver, nil
 }

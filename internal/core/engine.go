@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -14,6 +15,7 @@ import (
 	"prague/internal/intset"
 	"prague/internal/query"
 	"prague/internal/spig"
+	"prague/internal/workpool"
 )
 
 // Status mirrors the Status column of the paper's Figure 3: how the engine
@@ -82,7 +84,8 @@ type Engine struct {
 	rver          levelSets              // to-verify candidates per level (similarity mode)
 	universe      []int                  // cached 0..|D|-1
 	candMemo      map[*spig.Vertex][]int // per-vertex Algorithm 3 results
-	verifyWorkers int                    // goroutines for the verification phases (≤1: inline)
+	verifyWorkers int                    // per-call goroutines (deprecated SetVerifyWorkers path)
+	pool          *workpool.Pool         // shared verification pool (service-injected), or nil
 	stats         SessionStats
 }
 
@@ -101,7 +104,7 @@ type SessionStats struct {
 // subgraph distance threshold σ.
 func New(db []*graph.Graph, idx *index.Set, sigma int) (*Engine, error) {
 	if sigma < 0 {
-		return nil, fmt.Errorf("core: negative σ")
+		return nil, fmt.Errorf("core: σ = %d: %w", sigma, ErrNegativeSigma)
 	}
 	for i, g := range db {
 		if g.ID != i {
@@ -139,13 +142,29 @@ func (e *Engine) AddNode(label string) int { return e.q.AddNode(label) }
 // AddEdge handles the New action of Algorithm 1: draw an edge, construct
 // its SPIG (Algorithm 2), and refresh the candidate sets.
 func (e *Engine) AddEdge(u, v int) (StepOutcome, error) {
-	return e.AddLabeledEdge(u, v, "")
+	return e.AddLabeledEdgeCtx(context.Background(), u, v, "")
+}
+
+// AddEdgeCtx is AddEdge honoring the context: cancellation is checked
+// before the action and between SPIG levels during candidate maintenance.
+func (e *Engine) AddEdgeCtx(ctx context.Context, u, v int) (StepOutcome, error) {
+	return e.AddLabeledEdgeCtx(ctx, u, v, "")
 }
 
 // AddLabeledEdge is AddEdge for an edge carrying an edge label (e.g. a bond
 // type). The paper presents its method for node-labeled graphs; edge labels
 // flow through canonical codes, indexes, and SPIGs unchanged.
 func (e *Engine) AddLabeledEdge(u, v int, label string) (StepOutcome, error) {
+	return e.AddLabeledEdgeCtx(context.Background(), u, v, label)
+}
+
+// AddLabeledEdgeCtx is the context-aware AddLabeledEdge. On cancellation
+// the edge stays drawn but the candidate sets may be stale; the next
+// evaluated action recomputes them.
+func (e *Engine) AddLabeledEdgeCtx(ctx context.Context, u, v int, label string) (StepOutcome, error) {
+	if err := ctx.Err(); err != nil {
+		return StepOutcome{}, fmt.Errorf("core: add edge: %w", err)
+	}
 	step, err := e.q.AddLabeledEdge(u, v, label)
 	if err != nil {
 		return StepOutcome{}, err
@@ -158,7 +177,10 @@ func (e *Engine) AddLabeledEdge(u, v int, label string) (StepOutcome, error) {
 	e.stats.SpigConstruction = append(e.stats.SpigConstruction, spigTime)
 
 	t1 := time.Now()
-	out := e.refresh()
+	out, err := e.refresh(ctx)
+	if err != nil {
+		return StepOutcome{}, fmt.Errorf("core: add edge: %w", err)
+	}
 	evalTime := time.Since(t1)
 	e.stats.StepEvaluation = append(e.stats.StepEvaluation, evalTime)
 
@@ -171,18 +193,29 @@ func (e *Engine) AddLabeledEdge(u, v int, label string) (StepOutcome, error) {
 // ChooseSimilarity handles the SimQuery action: the user elects to continue
 // formulating with approximate matching.
 func (e *Engine) ChooseSimilarity() StepOutcome {
-	e.simFlag = true
-	e.pending = false
-	out := e.refresh()
+	out, _ := e.ChooseSimilarityCtx(context.Background())
 	return out
 }
 
+// ChooseSimilarityCtx is the context-aware ChooseSimilarity.
+func (e *Engine) ChooseSimilarityCtx(ctx context.Context) (StepOutcome, error) {
+	e.simFlag = true
+	e.pending = false
+	out, err := e.refresh(ctx)
+	if err != nil {
+		return StepOutcome{}, fmt.Errorf("core: choose similarity: %w", err)
+	}
+	return out, nil
+}
+
 // refresh recomputes candidate state after the query or mode changed.
-func (e *Engine) refresh() StepOutcome {
+// Cancellation is checked between SPIG levels; with a background context it
+// never errors.
+func (e *Engine) refresh(ctx context.Context) (StepOutcome, error) {
 	if e.q.Size() == 0 {
 		e.rq = nil
 		e.rfree, e.rver = nil, nil
-		return StepOutcome{Status: StatusEmpty}
+		return StepOutcome{Status: StatusEmpty}, nil
 	}
 	if !e.simFlag {
 		target := e.spigs.Target(e.q)
@@ -193,25 +226,33 @@ func (e *Engine) refresh() StepOutcome {
 			if target.Kind == index.KindFrequent {
 				status = StatusFrequent
 			}
-			return StepOutcome{Status: status, ExactCount: len(e.rq)}
+			return StepOutcome{Status: status, ExactCount: len(e.rq)}, nil
 		}
 		// Rq became empty: precompute similarity candidates (Algorithm 1
 		// lines 7-10) and ask the user to choose.
 		e.pending = true
-		e.rfree, e.rver = e.similarSubCandidates()
+		var err error
+		e.rfree, e.rver, err = e.similarSubCandidates(ctx)
+		if err != nil {
+			return StepOutcome{}, err
+		}
 		return StepOutcome{
 			Status:      StatusSimilar,
 			NeedsChoice: true,
 			FreeCount:   countLevelSets(e.rfree),
 			VerCount:    countLevelSets(e.rver),
-		}
+		}, nil
 	}
-	e.rfree, e.rver = e.similarSubCandidates()
+	var err error
+	e.rfree, e.rver, err = e.similarSubCandidates(ctx)
+	if err != nil {
+		return StepOutcome{}, err
+	}
 	return StepOutcome{
 		Status:    StatusSimilar,
 		FreeCount: countLevelSets(e.rfree),
 		VerCount:  countLevelSets(e.rver),
-	}
+	}, nil
 }
 
 // Rq returns the current exact candidate set (containment mode).
@@ -228,8 +269,22 @@ func (e *Engine) CandidateCounts() (free, ver, total int) {
 // Run handles the Run action of Algorithm 1: finish evaluation and return
 // the (possibly approximate) ranked results. The elapsed work is the SRT.
 func (e *Engine) Run() ([]Result, error) {
+	return e.RunCtx(context.Background())
+}
+
+// RunCtx is the context-aware Run: the verification loops poll cancellation
+// between candidates, so a cancelled or deadline-exceeded context returns
+// promptly with the partial results ranked so far and an error wrapping
+// ctx.Err(). When containment search yields no verified exact result, the
+// session transparently degrades to similarity search (Algorithm 1 lines
+// 19-21) and — unlike earlier revisions — records that transition, so
+// SimilarityMode/AwaitingChoice stay consistent after Run returns.
+func (e *Engine) RunCtx(ctx context.Context) ([]Result, error) {
 	if e.q.Size() == 0 {
-		return nil, fmt.Errorf("core: running an empty query")
+		return nil, fmt.Errorf("core: run: %w", ErrEmptyQuery)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: run: %w", err)
 	}
 	t0 := time.Now()
 	defer func() { e.stats.RunTime = time.Since(t0) }()
@@ -246,28 +301,44 @@ func (e *Engine) Run() ([]Result, error) {
 				results = append(results, Result{GraphID: id, Distance: 0})
 			}
 		} else {
-			results = e.exactVerification(qg, e.rq)
+			var err error
+			results, err = e.exactVerification(ctx, qg, e.rq)
+			if err != nil {
+				return results, fmt.Errorf("core: run: %w", err)
+			}
 		}
 		if len(results) > 0 {
 			return results, nil
 		}
 		// No exact result after verification: fall back to similarity
-		// search (Algorithm 1 lines 19-21).
-		e.rfree, e.rver = e.similarSubCandidates()
+		// search (Algorithm 1 lines 19-21). The fallback *is* the
+		// similarity choice, so mark the mode switch and clear any pending
+		// choice — a post-Run AwaitingChoice report must not be stale.
+		e.simFlag = true
+		e.pending = false
+		var err error
+		e.rfree, e.rver, err = e.similarSubCandidates(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("core: run: %w", err)
+		}
 	}
-	return e.similarResultsGen(qg), nil
+	results, err := e.similarResultsGen(ctx, qg)
+	if err != nil {
+		return results, fmt.Errorf("core: run: %w", err)
+	}
+	return results, nil
 }
 
 // exactVerification filters Rq by full subgraph isomorphism.
-func (e *Engine) exactVerification(qg *graph.Graph, rq []int) []Result {
-	matched := parallelFilter(rq, e.verifyWorkers, func(id int) bool {
+func (e *Engine) exactVerification(ctx context.Context, qg *graph.Graph, rq []int) ([]Result, error) {
+	matched, err := e.filter(ctx, rq, func(id int) bool {
 		return graph.SubgraphIsomorphic(qg, e.db[id])
 	})
 	out := make([]Result, 0, len(matched))
 	for _, id := range matched {
 		out = append(out, Result{GraphID: id, Distance: 0})
 	}
-	return out
+	return out, err
 }
 
 func countLevelSets(ls levelSets) int { return len(flattenLevelSets(ls)) }

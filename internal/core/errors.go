@@ -1,0 +1,18 @@
+package core
+
+import "errors"
+
+// Sentinel errors for the engine's failure modes. They are wrapped with
+// context via %w at each return site and re-exported by the public prague
+// package, so callers test with errors.Is instead of string-matching.
+var (
+	// ErrEmptyQuery: the action needs a query with at least one edge.
+	ErrEmptyQuery = errors.New("empty query")
+	// ErrAwaitingChoice: the exact candidate set is empty and the session
+	// must first resolve the Modify-or-SimQuery choice.
+	ErrAwaitingChoice = errors.New("awaiting modify-or-similarity choice")
+	// ErrGraphNotFound: a data graph identifier is out of range.
+	ErrGraphNotFound = errors.New("graph not found")
+	// ErrNegativeSigma: the subgraph distance threshold must be ≥ 0.
+	ErrNegativeSigma = errors.New("negative subgraph distance threshold")
+)

@@ -31,11 +31,11 @@ type Match struct {
 // error is returned.
 func (e *Engine) Explain(graphID int) (*Match, error) {
 	if graphID < 0 || graphID >= len(e.db) {
-		return nil, fmt.Errorf("core: no data graph %d", graphID)
+		return nil, fmt.Errorf("core: no data graph %d: %w", graphID, ErrGraphNotFound)
 	}
 	n := e.q.Size()
 	if n == 0 {
-		return nil, fmt.Errorf("core: empty query")
+		return nil, fmt.Errorf("core: explain: %w", ErrEmptyQuery)
 	}
 	g := e.db[graphID]
 	lo := n - e.sigma

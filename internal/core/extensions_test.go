@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
 	"prague/internal/graph"
 	"prague/internal/patterns"
+	"prague/internal/workpool"
 )
 
 func TestDeleteEdgesAtomicity(t *testing.T) {
@@ -298,8 +300,15 @@ func TestParallelFilterSmallAndLarge(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		ids = append(ids, i)
 	}
-	seqOut := parallelFilter(ids, 1, pred)
-	parOut := parallelFilter(ids, 8, pred)
+	ctx := context.Background()
+	seqOut, err := workpool.FilterN(ctx, ids, 1, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parOut, err := workpool.FilterN(ctx, ids, 8, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(seqOut) != len(parOut) {
 		t.Fatalf("lengths differ: %d vs %d", len(seqOut), len(parOut))
 	}
@@ -308,7 +317,7 @@ func TestParallelFilterSmallAndLarge(t *testing.T) {
 			t.Fatal("order not preserved")
 		}
 	}
-	if parallelFilter(nil, 4, pred) != nil {
+	if out, _ := workpool.FilterN(ctx, nil, 4, pred); out != nil {
 		t.Error("empty input should return nil")
 	}
 }

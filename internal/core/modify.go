@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -52,13 +53,22 @@ func (e *Engine) SuggestDeletion() (Suggestion, error) {
 // the SPIG set, and recompute the candidate state. The modified query must
 // stay connected.
 func (e *Engine) DeleteEdge(step int) (StepOutcome, error) {
+	return e.DeleteEdgeCtx(context.Background(), step)
+}
+
+// DeleteEdgeCtx is the context-aware DeleteEdge: candidate recomputation
+// polls cancellation between SPIG levels.
+func (e *Engine) DeleteEdgeCtx(ctx context.Context, step int) (StepOutcome, error) {
 	t0 := time.Now()
 	if err := e.q.DeleteEdge(step); err != nil {
 		return StepOutcome{}, err
 	}
 	e.spigs.DeleteEdge(step)
 	e.candMemo = nil // vertices may have disappeared
-	out := e.refresh()
+	out, err := e.refresh(ctx)
+	if err != nil {
+		return StepOutcome{}, fmt.Errorf("core: delete edge: %w", err)
+	}
 	e.stats.ModificationTime = append(e.stats.ModificationTime, time.Since(t0))
 	return out, nil
 }
@@ -75,7 +85,7 @@ func (e *Engine) DeleteEdges(steps []int) (StepOutcome, error) {
 		e.spigs.DeleteEdge(s)
 	}
 	e.candMemo = nil // vertices may have disappeared
-	out := e.refresh()
+	out, _ := e.refresh(context.Background())
 	e.stats.ModificationTime = append(e.stats.ModificationTime, time.Since(t0))
 	return out, nil
 }
@@ -99,7 +109,7 @@ func (e *Engine) RelabelNode(node int, label string) (StepOutcome, error) {
 		}
 	}
 	e.candMemo = nil // vertices may have disappeared
-	out := e.refresh()
+	out, _ := e.refresh(context.Background())
 	e.stats.ModificationTime = append(e.stats.ModificationTime, time.Since(t0))
 	return out, nil
 }

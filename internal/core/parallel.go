@@ -1,12 +1,25 @@
 package core
 
-import "sync"
+import (
+	"context"
+
+	"prague/internal/workpool"
+)
+
+// SetPool injects a shared bounded verification pool (typically owned by a
+// service multiplexing many sessions over one database). The engine does
+// not close the pool. A nil pool restores inline verification.
+func (e *Engine) SetPool(p *workpool.Pool) { e.pool = p }
 
 // SetVerifyWorkers sets the number of goroutines used by the verification
 // phases (exact subgraph isomorphism over Rq and SimVerify over Rver).
-// Values ≤ 1 mean sequential verification (the default). The paper points
-// out its verifier is deliberately replaceable; parallel verification is the
-// cheapest such replacement and leaves results bit-identical.
+// Values ≤ 1 mean sequential verification (the default). Results are
+// bit-identical regardless of the setting.
+//
+// Deprecated: construct a service with the WithVerifyWorkers option (or
+// inject a shared pool via SetPool) instead; this per-engine knob spawns
+// per-call goroutines and cannot bound concurrency across sessions. It is
+// kept as a thin shim so existing callers compile.
 func (e *Engine) SetVerifyWorkers(n int) {
 	if n < 1 {
 		n = 1
@@ -14,43 +27,12 @@ func (e *Engine) SetVerifyWorkers(n int) {
 	e.verifyWorkers = n
 }
 
-// parallelFilter returns the ids for which pred holds, preserving input
-// order. With workers ≤ 1 it runs inline.
-func parallelFilter(ids []int, workers int, pred func(id int) bool) []int {
-	if len(ids) == 0 {
-		return nil
+// filter runs pred over ids on the shared pool when one is injected, else
+// on the deprecated per-call worker path. Both poll ctx between candidates
+// and return the partial result with ctx.Err() on cancellation.
+func (e *Engine) filter(ctx context.Context, ids []int, pred func(id int) bool) ([]int, error) {
+	if e.pool != nil {
+		return e.pool.Filter(ctx, ids, pred)
 	}
-	if workers <= 1 || len(ids) < 2*workers {
-		var out []int
-		for _, id := range ids {
-			if pred(id) {
-				out = append(out, id)
-			}
-		}
-		return out
-	}
-	keep := make([]bool, len(ids))
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				keep[i] = pred(ids[i])
-			}
-		}()
-	}
-	for i := range ids {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	var out []int
-	for i, k := range keep {
-		if k {
-			out = append(out, ids[i])
-		}
-	}
-	return out
+	return workpool.FilterN(ctx, ids, e.verifyWorkers, pred)
 }

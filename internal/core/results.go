@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"prague/internal/graph"
@@ -19,26 +20,28 @@ import (
 // similarity mode, data graphs that contain the whole query exactly are
 // reported with distance 0 (Definition 3 includes them), rather than
 // distance 1.
-func (e *Engine) similarResultsGen(qg *graph.Graph) []Result {
+func (e *Engine) similarResultsGen(ctx context.Context, qg *graph.Graph) ([]Result, error) {
 	n := e.q.Size()
 	assigned := map[int]int{} // graph id -> distance
 
 	// Distance-0 pass (only meaningful in similarity mode; in containment
 	// mode Run already returned when exact results existed).
+	var ctxErr error
 	if target := e.spigs.Target(e.q); target != nil {
-		exact := parallelFilter(e.exactSubCandidates(target), e.verifyWorkers, func(id int) bool {
+		exact, err := e.filter(ctx, e.exactSubCandidates(target), func(id int) bool {
 			return graph.SubgraphIsomorphic(qg, e.db[id])
 		})
 		for _, id := range exact {
 			assigned[id] = 0
 		}
+		ctxErr = err
 	}
 
 	lo := n - e.sigma
 	if lo < 1 {
 		lo = 1
 	}
-	for i := n - 1; i >= lo; i-- {
+	for i := n - 1; ctxErr == nil && i >= lo; i-- {
 		dist := n - i
 		for _, id := range e.rfree[i] {
 			if _, done := assigned[id]; !done {
@@ -48,18 +51,19 @@ func (e *Engine) similarResultsGen(qg *graph.Graph) []Result {
 		// Rver(i) minus everything already confirmed (Algorithm 5 line 3).
 		pending := intset.Diff(e.rver[i], keysSorted(assigned))
 		frags := e.levelFragments(i)
-		confirmed := parallelFilter(pending, e.verifyWorkers, func(id int) bool {
+		confirmed, err := e.filter(ctx, pending, func(id int) bool {
 			return containsAnyFragment(frags, e.db[id])
 		})
 		for _, id := range confirmed {
 			assigned[id] = dist
 		}
+		ctxErr = err
 	}
 
 	// σ ≥ |q| admits graphs sharing nothing with the query: by Definition 2
 	// their distance is exactly |q| (δ = 0). They form the trailing band of
 	// the ranking.
-	if e.sigma >= n {
+	if ctxErr == nil && e.sigma >= n {
 		for id := range e.db {
 			if _, done := assigned[id]; !done {
 				assigned[id] = n
@@ -77,7 +81,7 @@ func (e *Engine) similarResultsGen(qg *graph.Graph) []Result {
 		}
 		return results[a].GraphID < results[b].GraphID
 	})
-	return results
+	return results, ctxErr
 }
 
 // levelFragments collects the fragment classes at SPIG level i — exactly the

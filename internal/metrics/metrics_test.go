@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hits")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	c.Add(-8000)
+	if got := c.Value(); got != 0 {
+		t.Fatalf("counter after negative add = %d, want 0", got)
+	}
+	if r.Counter("hits") != c {
+		t.Fatal("get-or-create returned a different counter")
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	var h Histogram
+	// 90 fast observations, 10 slow ones: p50 must land in the fast
+	// decade, p95 in the slow one.
+	for i := 0; i < 90; i++ {
+		h.Observe(5 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(50 * time.Millisecond)
+	}
+	s := h.snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.MaxMS != 50 {
+		t.Fatalf("max = %vms, want 50ms", s.MaxMS)
+	}
+	if s.P50MS > 0.01 {
+		t.Fatalf("p50 = %vms, want within the 10µs bucket", s.P50MS)
+	}
+	if s.P95MS < 10 || s.P95MS > 100 {
+		t.Fatalf("p95 = %vms, want within the 100ms bucket", s.P95MS)
+	}
+	if s.Buckets["10µs"] != 90 || s.Buckets["100ms"] != 10 {
+		t.Fatalf("bucket counts = %v", s.Buckets)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := r.Histogram("lat")
+			for i := 0; i < 500; i++ {
+				h.Observe(time.Duration(w+1) * time.Millisecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Histogram("lat").Count(); got != 4000 {
+		t.Fatalf("count = %d, want 4000", got)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(CounterStepsEvaluated).Add(7)
+	r.Histogram(HistSRT).Observe(3 * time.Millisecond)
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if back.Counters[CounterStepsEvaluated] != 7 {
+		t.Fatalf("counters after round trip: %v", back.Counters)
+	}
+	if back.Histograms[HistSRT].Count != 1 {
+		t.Fatalf("histograms after round trip: %v", back.Histograms)
+	}
+}

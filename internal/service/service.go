@@ -1,0 +1,482 @@
+// Package service multiplexes many concurrent PRAGUE formulation sessions
+// over one immutable (database, indexes) pair — the layer between a visual
+// front-end fleet and the single-user core engine. A Service owns a shared
+// bounded verification worker pool (so total verification concurrency stays
+// fixed no matter how many users are formulating), id-addressed sessions
+// with per-session mutexes, an idle-session janitor, and a metrics registry
+// observing every step.
+//
+// Relative to the bare core.Engine, the service also enforces the explicit
+// formulation protocol: Run on a session whose exact candidate set emptied
+// returns ErrAwaitingChoice until the caller resolves the Modify-or-SimQuery
+// decision, rather than silently degrading.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"prague/internal/core"
+	"prague/internal/graph"
+	"prague/internal/index"
+	"prague/internal/metrics"
+	"prague/internal/workpool"
+)
+
+// Sentinel errors of the service layer; core's sentinels (ErrEmptyQuery,
+// ErrAwaitingChoice, ...) pass through wrapped.
+var (
+	// ErrSessionNotFound: the session id is unknown, deleted, or evicted.
+	ErrSessionNotFound = errors.New("session not found")
+	// ErrServiceClosed: the service has been shut down.
+	ErrServiceClosed = errors.New("service closed")
+	// ErrTooManySessions: the configured session limit is reached.
+	ErrTooManySessions = errors.New("session limit reached")
+)
+
+// Options collects the construction-time knobs; set them via the With*
+// functional options.
+type Options struct {
+	Sigma         int
+	VerifyWorkers int
+	SessionTTL    time.Duration
+	MaxSessions   int
+	Metrics       *metrics.Registry
+	Clock         func() time.Time
+}
+
+// Option configures a Service at construction.
+type Option func(*Options)
+
+// WithSigma sets the subgraph distance threshold σ for sessions (default 3,
+// the paper's setting).
+func WithSigma(sigma int) Option { return func(o *Options) { o.Sigma = sigma } }
+
+// WithVerifyWorkers bounds the shared verification pool (default
+// GOMAXPROCS). This replaces the deprecated per-engine SetVerifyWorkers.
+func WithVerifyWorkers(n int) Option { return func(o *Options) { o.VerifyWorkers = n } }
+
+// WithSessionTTL sets how long an idle session survives before the janitor
+// evicts it (default 30m; ≤ 0 disables eviction).
+func WithSessionTTL(d time.Duration) Option { return func(o *Options) { o.SessionTTL = d } }
+
+// WithMaxSessions caps concurrently live sessions (default 0: unlimited).
+func WithMaxSessions(n int) Option { return func(o *Options) { o.MaxSessions = n } }
+
+// WithMetrics records service metrics into reg instead of metrics.Default.
+func WithMetrics(reg *metrics.Registry) Option { return func(o *Options) { o.Metrics = reg } }
+
+// WithClock overrides the time source (tests).
+func WithClock(now func() time.Time) Option { return func(o *Options) { o.Clock = now } }
+
+// Service serves concurrent formulation sessions over one immutable
+// database + index pair. All methods are safe for concurrent use.
+type Service struct {
+	db   []*graph.Graph
+	idx  *index.Set
+	opt  Options
+	pool *workpool.Pool
+	reg  *metrics.Registry
+	now  func() time.Time
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	nextID   int64
+	closed   bool
+
+	stopJanitor chan struct{}
+	janitorDone chan struct{}
+}
+
+// New builds a service over the database and indexes. The database and
+// indexes must not be mutated afterwards; sessions share them.
+func New(db []*graph.Graph, idx *index.Set, opts ...Option) (*Service, error) {
+	opt := Options{Sigma: 3, SessionTTL: 30 * time.Minute}
+	for _, o := range opts {
+		o(&opt)
+	}
+	if opt.Sigma < 0 {
+		return nil, fmt.Errorf("service: σ = %d: %w", opt.Sigma, core.ErrNegativeSigma)
+	}
+	for i, g := range db {
+		if g == nil || g.ID != i {
+			return nil, fmt.Errorf("service: data graph at position %d must have dense id %d", i, i)
+		}
+	}
+	reg := opt.Metrics
+	if reg == nil {
+		reg = metrics.Default
+	}
+	now := opt.Clock
+	if now == nil {
+		now = time.Now
+	}
+	s := &Service{
+		db:       db,
+		idx:      idx,
+		opt:      opt,
+		pool:     workpool.New(opt.VerifyWorkers),
+		reg:      reg,
+		now:      now,
+		sessions: map[string]*Session{},
+	}
+	s.pool.OnBatch = func(n int) {
+		reg.Counter(metrics.CounterVerifyTasks).Add(int64(n))
+		reg.Counter(metrics.CounterVerifyBatches).Inc()
+	}
+	if opt.SessionTTL > 0 {
+		interval := opt.SessionTTL / 4
+		if interval < 10*time.Millisecond {
+			interval = 10 * time.Millisecond
+		}
+		s.stopJanitor = make(chan struct{})
+		s.janitorDone = make(chan struct{})
+		go s.janitor(interval)
+	}
+	return s, nil
+}
+
+// Close shuts the service down: the janitor stops, the verification pool
+// drains, and all sessions are dropped. Further calls return
+// ErrServiceClosed; Close is idempotent.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	victims := make([]*Session, 0, len(s.sessions))
+	for id, ss := range s.sessions {
+		victims = append(victims, ss)
+		delete(s.sessions, id)
+	}
+	s.mu.Unlock()
+
+	for _, ss := range victims {
+		ss.mu.Lock()
+		ss.gone = true
+		ss.mu.Unlock()
+	}
+	s.reg.Counter(metrics.CounterSessionsActive).Add(-int64(len(victims)))
+	if s.stopJanitor != nil {
+		close(s.stopJanitor)
+		<-s.janitorDone
+	}
+	s.pool.Close()
+}
+
+// Metrics returns the registry the service records into.
+func (s *Service) Metrics() *metrics.Registry { return s.reg }
+
+// Snapshot captures the current metrics.
+func (s *Service) Snapshot() metrics.Snapshot { return s.reg.Snapshot() }
+
+// Sigma returns the σ sessions are created with.
+func (s *Service) Sigma() int { return s.opt.Sigma }
+
+// Len returns the number of live sessions.
+func (s *Service) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// Create starts a new formulation session and returns its handle. The
+// session is also addressable by id via Get until deleted or evicted.
+func (s *Service) Create(ctx context.Context) (*Session, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("service: create: %w", err)
+	}
+	eng, err := core.New(s.db, s.idx, s.opt.Sigma)
+	if err != nil {
+		return nil, fmt.Errorf("service: create: %w", err)
+	}
+	eng.SetPool(s.pool)
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("service: create: %w", ErrServiceClosed)
+	}
+	if s.opt.MaxSessions > 0 && len(s.sessions) >= s.opt.MaxSessions {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("service: create: %d live: %w", s.opt.MaxSessions, ErrTooManySessions)
+	}
+	s.nextID++
+	ss := &Session{
+		id:       fmt.Sprintf("s%06d", s.nextID),
+		svc:      s,
+		eng:      eng,
+		lastUsed: s.now(),
+	}
+	s.sessions[ss.id] = ss
+	s.mu.Unlock()
+
+	s.reg.Counter(metrics.CounterSessionsCreated).Inc()
+	s.reg.Counter(metrics.CounterSessionsActive).Inc()
+	return ss, nil
+}
+
+// Get resolves a session id.
+func (s *Service) Get(id string) (*Session, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("service: get %q: %w", id, ErrServiceClosed)
+	}
+	ss := s.sessions[id]
+	if ss == nil {
+		return nil, fmt.Errorf("service: get %q: %w", id, ErrSessionNotFound)
+	}
+	return ss, nil
+}
+
+// Delete removes a session. In-flight calls on the session finish; later
+// calls fail with ErrSessionNotFound.
+func (s *Service) Delete(id string) error {
+	s.mu.Lock()
+	ss := s.sessions[id]
+	if ss == nil {
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			return fmt.Errorf("service: delete %q: %w", id, ErrServiceClosed)
+		}
+		return fmt.Errorf("service: delete %q: %w", id, ErrSessionNotFound)
+	}
+	delete(s.sessions, id)
+	s.mu.Unlock()
+
+	ss.mu.Lock()
+	ss.gone = true
+	ss.mu.Unlock()
+	s.reg.Counter(metrics.CounterSessionsDeleted).Inc()
+	s.reg.Counter(metrics.CounterSessionsActive).Add(-1)
+	return nil
+}
+
+// EvictIdle reaps sessions idle for longer than the TTL and returns how
+// many it removed. The janitor calls this periodically; tests may call it
+// directly. Sessions with a call in flight hold their own mutex and are
+// skipped (they are, by definition, not idle).
+func (s *Service) EvictIdle() int {
+	ttl := s.opt.SessionTTL
+	if ttl <= 0 {
+		return 0
+	}
+	cutoff := s.now().Add(-ttl)
+	s.mu.Lock()
+	var evicted int
+	for id, ss := range s.sessions {
+		if !ss.mu.TryLock() {
+			continue
+		}
+		if ss.lastUsed.Before(cutoff) {
+			ss.gone = true
+			delete(s.sessions, id)
+			evicted++
+		}
+		ss.mu.Unlock()
+	}
+	s.mu.Unlock()
+	if evicted > 0 {
+		s.reg.Counter(metrics.CounterSessionsEvicted).Add(int64(evicted))
+		s.reg.Counter(metrics.CounterSessionsActive).Add(-int64(evicted))
+	}
+	return evicted
+}
+
+func (s *Service) janitor(interval time.Duration) {
+	defer close(s.janitorDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopJanitor:
+			return
+		case <-t.C:
+			s.EvictIdle()
+		}
+	}
+}
+
+// Session is one user's formulation session, multiplexed by a Service. All
+// methods are safe for concurrent use; a per-session mutex serializes the
+// formulation actions (the engine models a single user's canvas).
+type Session struct {
+	id  string
+	svc *Service
+
+	mu       sync.Mutex
+	eng      *core.Engine
+	lastUsed time.Time
+	gone     bool
+}
+
+// ID returns the service-unique session identifier.
+func (ss *Session) ID() string { return ss.id }
+
+// begin locks the session and checks liveness; callers must End (unlock).
+func (ss *Session) begin() error {
+	ss.mu.Lock()
+	if ss.gone {
+		ss.mu.Unlock()
+		return fmt.Errorf("service: session %s: %w", ss.id, ErrSessionNotFound)
+	}
+	ss.lastUsed = ss.svc.now()
+	return nil
+}
+
+// AddNode drops a labeled node on the canvas and returns its stable id.
+func (ss *Session) AddNode(label string) (int, error) {
+	if err := ss.begin(); err != nil {
+		return 0, err
+	}
+	defer ss.mu.Unlock()
+	return ss.eng.AddNode(label), nil
+}
+
+// AddEdge draws an edge and returns what the engine precomputed during the
+// step's latency window.
+func (ss *Session) AddEdge(ctx context.Context, u, v int) (core.StepOutcome, error) {
+	return ss.AddLabeledEdge(ctx, u, v, "")
+}
+
+// AddLabeledEdge is AddEdge for an edge carrying an edge label.
+func (ss *Session) AddLabeledEdge(ctx context.Context, u, v int, label string) (core.StepOutcome, error) {
+	if err := ss.begin(); err != nil {
+		return core.StepOutcome{}, err
+	}
+	defer ss.mu.Unlock()
+	out, err := ss.eng.AddLabeledEdgeCtx(ctx, u, v, label)
+	if err != nil {
+		return core.StepOutcome{}, err
+	}
+	ss.observeStep(out)
+	return out, nil
+}
+
+// ChooseSimilarity resolves a pending empty-Rq choice by continuing as a
+// similarity query.
+func (ss *Session) ChooseSimilarity(ctx context.Context) (core.StepOutcome, error) {
+	if err := ss.begin(); err != nil {
+		return core.StepOutcome{}, err
+	}
+	defer ss.mu.Unlock()
+	return ss.eng.ChooseSimilarityCtx(ctx)
+}
+
+// DeleteEdge removes the edge drawn at the given step.
+func (ss *Session) DeleteEdge(ctx context.Context, step int) (core.StepOutcome, error) {
+	if err := ss.begin(); err != nil {
+		return core.StepOutcome{}, err
+	}
+	defer ss.mu.Unlock()
+	out, err := ss.eng.DeleteEdgeCtx(ctx, step)
+	if err != nil {
+		return core.StepOutcome{}, err
+	}
+	st := ss.eng.Stats().ModificationTime
+	if len(st) > 0 {
+		ss.svc.reg.Histogram(metrics.HistModification).Observe(st[len(st)-1])
+	}
+	ss.svc.reg.Counter(metrics.CounterStepsEvaluated).Inc()
+	return out, nil
+}
+
+// SuggestDeletion recommends which edge to delete when Rq is empty.
+func (ss *Session) SuggestDeletion() (core.Suggestion, error) {
+	if err := ss.begin(); err != nil {
+		return core.Suggestion{}, err
+	}
+	defer ss.mu.Unlock()
+	return ss.eng.SuggestDeletion()
+}
+
+// Run executes the query and returns the ranked results. Unlike the bare
+// engine, a session that is awaiting the Modify-or-SimQuery choice refuses
+// with ErrAwaitingChoice — the front-end must resolve the choice (or let
+// ChooseSimilarity decide) before running. On cancellation Run returns
+// promptly with the partial ranking and an error wrapping ctx.Err().
+func (ss *Session) Run(ctx context.Context) ([]core.Result, error) {
+	if err := ss.begin(); err != nil {
+		return nil, err
+	}
+	defer ss.mu.Unlock()
+	if ss.eng.AwaitingChoice() {
+		return nil, fmt.Errorf("service: session %s: run: %w", ss.id, core.ErrAwaitingChoice)
+	}
+	results, err := ss.eng.RunCtx(ctx)
+	if err != nil {
+		return results, err
+	}
+	ss.svc.reg.Counter(metrics.CounterRuns).Inc()
+	ss.svc.reg.Histogram(metrics.HistSRT).Observe(ss.eng.Stats().RunTime)
+	return results, nil
+}
+
+// Explain reports how one data graph matches the current query.
+func (ss *Session) Explain(graphID int) (*core.Match, error) {
+	if err := ss.begin(); err != nil {
+		return nil, err
+	}
+	defer ss.mu.Unlock()
+	return ss.eng.Explain(graphID)
+}
+
+// Info is a point-in-time description of a session's formulation state.
+type Info struct {
+	ID             string
+	QuerySize      int
+	Steps          []int
+	SimilarityMode bool
+	AwaitingChoice bool
+	ExactCount     int // |Rq| (containment mode)
+	FreeCount      int // |Rfree| (similarity mode)
+	VerCount       int // |Rver| (similarity mode)
+	TotalCount     int // |Rfree ∪ Rver|
+	SRT            time.Duration
+}
+
+// Describe snapshots the session state for status displays.
+func (ss *Session) Describe() (Info, error) {
+	if err := ss.begin(); err != nil {
+		return Info{}, err
+	}
+	defer ss.mu.Unlock()
+	free, ver, total := ss.eng.CandidateCounts()
+	return Info{
+		ID:             ss.id,
+		QuerySize:      ss.eng.Query().Size(),
+		Steps:          ss.eng.Query().Steps(),
+		SimilarityMode: ss.eng.SimilarityMode(),
+		AwaitingChoice: ss.eng.AwaitingChoice(),
+		ExactCount:     len(ss.eng.Rq()),
+		FreeCount:      free,
+		VerCount:       ver,
+		TotalCount:     total,
+		SRT:            ss.eng.Stats().RunTime,
+	}, nil
+}
+
+// SpigDump renders the session's SPIG set (debugging).
+func (ss *Session) SpigDump() (string, error) {
+	if err := ss.begin(); err != nil {
+		return "", err
+	}
+	defer ss.mu.Unlock()
+	return ss.eng.Spigs().Dump(), nil
+}
+
+// observeStep records one formulation step's measurements. Caller holds
+// ss.mu.
+func (ss *Session) observeStep(out core.StepOutcome) {
+	reg := ss.svc.reg
+	reg.Counter(metrics.CounterStepsEvaluated).Inc()
+	reg.Histogram(metrics.HistSpigBuild).Observe(out.SpigTime)
+	reg.Histogram(metrics.HistStepEval).Observe(out.EvalTime)
+}

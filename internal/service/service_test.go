@@ -1,0 +1,452 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"prague/internal/core"
+	"prague/internal/graph"
+	"prague/internal/index"
+	"prague/internal/metrics"
+	"prague/internal/mining"
+)
+
+// buildFixture hand-builds a random connected molecule-like database and
+// mines its action-aware indexes.
+func buildFixture(tb testing.TB, n int, seed int64, alpha float64, maxFrag int) ([]*graph.Graph, *index.Set) {
+	tb.Helper()
+	r := rand.New(rand.NewSource(seed))
+	labels := []string{"C", "C", "C", "C", "N", "O", "S"}
+	var db []*graph.Graph
+	for i := 0; i < n; i++ {
+		nodes := 4 + r.Intn(6)
+		g := graph.New(i)
+		for v := 0; v < nodes; v++ {
+			g.AddNode(labels[r.Intn(len(labels))])
+		}
+		for v := 1; v < nodes; v++ {
+			g.MustAddEdge(v, r.Intn(v))
+		}
+		for k := 0; k < r.Intn(3); k++ {
+			u, v := r.Intn(nodes), r.Intn(nodes)
+			if u != v && !g.HasEdge(u, v) {
+				g.MustAddEdge(u, v)
+			}
+		}
+		db = append(db, g)
+	}
+	// One graph carries the rare label P, bonded only to C: the pair P-P is
+	// then in the vocabulary with zero support, so a P-P query edge
+	// deterministically empties Rq (the awaiting-choice scenario).
+	rare := graph.New(n)
+	rare.AddNode("C")
+	rare.AddNode("P")
+	rare.MustAddEdge(0, 1)
+	db = append(db, rare)
+	res, err := mining.Mine(db, mining.Options{MinSupportRatio: alpha, MaxSize: maxFrag, IncludeZeroSupportPairs: true})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	idx, err := index.Build(res, alpha, 3)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return db, idx
+}
+
+var (
+	smallOnce sync.Once
+	smallDB   []*graph.Graph
+	smallIdx  *index.Set
+)
+
+func smallFixture(tb testing.TB) ([]*graph.Graph, *index.Set) {
+	smallOnce.Do(func() {
+		smallDB, smallIdx = buildFixture(tb, 150, 17, 0.3, 8)
+	})
+	return smallDB, smallIdx
+}
+
+// formulateAndRun drives one full session through the service: a short
+// random connected query, similarity choice when prompted, then Run.
+func formulateAndRun(ctx context.Context, svc *Service, r *rand.Rand) error {
+	ss, err := svc.Create(ctx)
+	if err != nil {
+		return err
+	}
+	defer svc.Delete(ss.ID())
+
+	labels := []string{"C", "N", "O"}
+	var ids []int
+	for i := 0; i < 4; i++ {
+		id, err := ss.AddNode(labels[r.Intn(len(labels))])
+		if err != nil {
+			return err
+		}
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ {
+		out, err := ss.AddEdge(ctx, ids[r.Intn(i)], ids[i])
+		if err != nil {
+			return err
+		}
+		if out.NeedsChoice {
+			if _, err := ss.ChooseSimilarity(ctx); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := ss.Run(ctx); err != nil {
+		return err
+	}
+	info, err := ss.Describe()
+	if err != nil {
+		return err
+	}
+	if info.QuerySize != 3 {
+		return fmt.Errorf("session %s: query size %d after 3 edges", ss.ID(), info.QuerySize)
+	}
+	return nil
+}
+
+// TestConcurrentSessions is the -race stress test: many goroutines create,
+// step, run, and delete overlapping sessions against one shared Service
+// with a shared verification pool.
+func TestConcurrentSessions(t *testing.T) {
+	db, idx := smallFixture(t)
+	reg := metrics.NewRegistry()
+	svc, err := New(db, idx, WithSigma(2), WithVerifyWorkers(4), WithMetrics(reg), WithSessionTTL(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	const goroutines = 12
+	const sessionsPerGoroutine = 6
+	errCh := make(chan error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(1000 + g)))
+			for i := 0; i < sessionsPerGoroutine; i++ {
+				if err := formulateAndRun(context.Background(), svc, r); err != nil {
+					errCh <- fmt.Errorf("goroutine %d session %d: %w", g, i, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if n := svc.Len(); n != 0 {
+		t.Fatalf("%d sessions leaked after deletes", n)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters[metrics.CounterSessionsCreated]; got != goroutines*sessionsPerGoroutine {
+		t.Fatalf("sessions_created = %d, want %d", got, goroutines*sessionsPerGoroutine)
+	}
+	if snap.Counters[metrics.CounterSessionsActive] != 0 {
+		t.Fatalf("sessions_active = %d, want 0", snap.Counters[metrics.CounterSessionsActive])
+	}
+	if snap.Counters[metrics.CounterStepsEvaluated] == 0 {
+		t.Fatal("steps_evaluated stayed zero")
+	}
+	if snap.Histograms[metrics.HistSRT].Count != goroutines*sessionsPerGoroutine {
+		t.Fatalf("srt histogram count = %d", snap.Histograms[metrics.HistSRT].Count)
+	}
+}
+
+// TestSharedSessionConcurrentUse hammers a single session from several
+// goroutines: the per-session mutex must serialize the canvas safely.
+func TestSharedSessionConcurrentUse(t *testing.T) {
+	db, idx := smallFixture(t)
+	svc, err := New(db, idx, WithSigma(2), WithMetrics(metrics.NewRegistry()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	ss, err := svc.Create(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := ss.AddNode("C")
+	b, _ := ss.AddNode("C")
+	if out, err := ss.AddEdge(context.Background(), a, b); err != nil {
+		t.Fatal(err)
+	} else if out.NeedsChoice {
+		ss.ChooseSimilarity(context.Background())
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if _, err := ss.Run(context.Background()); err != nil && !errors.Is(err, core.ErrAwaitingChoice) {
+					t.Error(err)
+					return
+				}
+				if _, err := ss.Describe(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestSessionLifecycleAndSentinels(t *testing.T) {
+	db, idx := smallFixture(t)
+	reg := metrics.NewRegistry()
+	svc, err := New(db, idx, WithSigma(1), WithMaxSessions(2), WithMetrics(reg), WithSessionTTL(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ctx := context.Background()
+
+	s1, err := svc.Create(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := svc.Get(s1.ID()); err != nil || got != s1 {
+		t.Fatalf("Get(%q) = %v, %v", s1.ID(), got, err)
+	}
+	if _, err := svc.Get("nope"); !errors.Is(err, ErrSessionNotFound) {
+		t.Fatalf("Get unknown id: %v", err)
+	}
+
+	// Session limit.
+	if _, err := svc.Create(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Create(ctx); !errors.Is(err, ErrTooManySessions) {
+		t.Fatalf("over limit: %v", err)
+	}
+
+	// Run on an empty query surfaces core's sentinel.
+	if _, err := s1.Run(ctx); !errors.Is(err, core.ErrEmptyQuery) {
+		t.Fatalf("run empty: %v", err)
+	}
+
+	// Delete, then every session method refuses.
+	if err := svc.Delete(s1.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Delete(s1.ID()); !errors.Is(err, ErrSessionNotFound) {
+		t.Fatalf("double delete: %v", err)
+	}
+	if _, err := s1.AddNode("C"); !errors.Is(err, ErrSessionNotFound) {
+		t.Fatalf("AddNode on deleted session: %v", err)
+	}
+	if _, err := s1.Run(ctx); !errors.Is(err, ErrSessionNotFound) {
+		t.Fatalf("Run on deleted session: %v", err)
+	}
+
+	svc.Close()
+	if _, err := svc.Create(ctx); !errors.Is(err, ErrServiceClosed) {
+		t.Fatalf("create after close: %v", err)
+	}
+	if _, err := svc.Get("s000001"); !errors.Is(err, ErrServiceClosed) {
+		t.Fatalf("get after close: %v", err)
+	}
+}
+
+func TestRunRefusesWhileAwaitingChoice(t *testing.T) {
+	db, idx := smallFixture(t)
+	svc, err := New(db, idx, WithSigma(2), WithMetrics(metrics.NewRegistry()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ctx := context.Background()
+
+	// The fixture guarantees P-P is a zero-support vocabulary pair, so this
+	// edge deterministically empties Rq and demands the choice.
+	ss, err := svc.Create(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := ss.AddNode("P")
+	b, _ := ss.AddNode("P")
+	out, err := ss.AddEdge(ctx, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.NeedsChoice {
+		t.Fatal("P-P edge did not empty Rq; fixture invariant broken")
+	}
+	if _, err := ss.Run(ctx); !errors.Is(err, core.ErrAwaitingChoice) {
+		t.Fatalf("run while awaiting choice: err = %v, want ErrAwaitingChoice", err)
+	}
+	if _, err := ss.ChooseSimilarity(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ss.Run(ctx); err != nil {
+		t.Fatalf("run after choice: %v", err)
+	}
+}
+
+func TestIdleEviction(t *testing.T) {
+	db, idx := smallFixture(t)
+	reg := metrics.NewRegistry()
+	clock := time.Now()
+	var clockMu sync.Mutex
+	now := func() time.Time {
+		clockMu.Lock()
+		defer clockMu.Unlock()
+		return clock
+	}
+	svc, err := New(db, idx, WithSigma(1), WithSessionTTL(time.Minute), WithMetrics(reg), WithClock(now))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ctx := context.Background()
+
+	idle, err := svc.Create(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy, err := svc.Create(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Advance the clock past the TTL, touching only the busy session.
+	clockMu.Lock()
+	clock = clock.Add(2 * time.Minute)
+	clockMu.Unlock()
+	if _, err := busy.AddNode("C"); err != nil {
+		t.Fatal(err)
+	}
+
+	if n := svc.EvictIdle(); n != 1 {
+		t.Fatalf("evicted %d sessions, want 1", n)
+	}
+	if _, err := svc.Get(idle.ID()); !errors.Is(err, ErrSessionNotFound) {
+		t.Fatalf("idle session still resolvable: %v", err)
+	}
+	if _, err := idle.AddNode("C"); !errors.Is(err, ErrSessionNotFound) {
+		t.Fatalf("evicted session still usable: %v", err)
+	}
+	if _, err := svc.Get(busy.ID()); err != nil {
+		t.Fatalf("busy session evicted: %v", err)
+	}
+	if got := reg.Snapshot().Counters[metrics.CounterSessionsEvicted]; got != 1 {
+		t.Fatalf("sessions_evicted = %d, want 1", got)
+	}
+}
+
+// TestRunCancellationMidVerification is the acceptance test for context
+// plumbing: on a large synthetic database, cancelling RunCtx while the
+// verification fan-out is in flight must return promptly with a wrapped
+// context.Canceled, and a short deadline must return a wrapped
+// context.DeadlineExceeded — partial results, not hangs.
+func TestRunCancellationMidVerification(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large fixture")
+	}
+	db, idx := buildFixture(t, 16_000, 23, 0.3, 6)
+	svc, err := New(db, idx, WithSigma(4), WithVerifyWorkers(4), WithMetrics(metrics.NewRegistry()), WithSessionTTL(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	formulate := func(ctx context.Context) *Session {
+		t.Helper()
+		ss, err := svc.Create(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		labels := []string{"C", "C", "N", "O"}
+		var ids []int
+		for _, l := range labels {
+			id, err := ss.AddNode(l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, id)
+		}
+		for i := 1; i < len(ids); i++ {
+			out, err := ss.AddEdge(ctx, ids[i-1], ids[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.NeedsChoice {
+				if _, err := ss.ChooseSimilarity(ctx); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		// Force similarity mode: with σ ≥ |q| every graph is admitted, so
+		// Run must grind through the whole database's verification.
+		if _, err := ss.ChooseSimilarity(ctx); err != nil {
+			t.Fatal(err)
+		}
+		return ss
+	}
+
+	// Baseline: uncancelled Run, to prove the cancel lands mid-flight.
+	base := formulate(context.Background())
+	t0 := time.Now()
+	results, err := base.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := time.Since(t0)
+	t.Logf("baseline SRT %v over %d graphs", baseline, len(db))
+	if len(results) != len(db) {
+		t.Fatalf("baseline run: %d results, want %d (σ ≥ |q|)", len(results), len(db))
+	}
+	if baseline < 5*time.Millisecond {
+		t.Fatalf("fixture too small for a meaningful cancellation test: baseline run %v", baseline)
+	}
+
+	// Explicit cancel landing mid-verification.
+	ss := formulate(context.Background())
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(baseline/8, cancel)
+	t0 = time.Now()
+	_, err = ss.Run(ctx)
+	elapsed := time.Since(t0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run: err = %v, want wrapped context.Canceled", err)
+	}
+	if elapsed > baseline/2+time.Second {
+		t.Fatalf("cancelled run took %v (baseline %v): not prompt", elapsed, baseline)
+	}
+
+	// Deadline exceeded mid-verification.
+	ss2 := formulate(context.Background())
+	dctx, dcancel := context.WithTimeout(context.Background(), baseline/8)
+	defer dcancel()
+	t0 = time.Now()
+	_, err = ss2.Run(dctx)
+	elapsed = time.Since(t0)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline run: err = %v, want wrapped context.DeadlineExceeded", err)
+	}
+	if elapsed > baseline/2+time.Second {
+		t.Fatalf("deadline run took %v (baseline %v): not prompt", elapsed, baseline)
+	}
+
+	// The session remains usable after an aborted Run.
+	if _, err := ss.Run(context.Background()); err != nil {
+		t.Fatalf("run after cancellation: %v", err)
+	}
+}

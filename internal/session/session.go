@@ -14,6 +14,7 @@ import (
 	"prague/internal/gblender"
 	"prague/internal/graph"
 	"prague/internal/index"
+	"prague/internal/metrics"
 	"prague/internal/workload"
 )
 
@@ -23,6 +24,17 @@ type Config struct {
 	// (default 2s, the paper's lower bound on edge drawing time). It is
 	// never slept; it is the budget per-step compute is compared against.
 	EdgeLatency time.Duration
+	// Metrics receives per-step and per-run observations (step counter,
+	// SPIG/eval/modification histograms, SRT histogram); nil means
+	// metrics.Default.
+	Metrics *metrics.Registry
+}
+
+func (c Config) registry() *metrics.Registry {
+	if c.Metrics != nil {
+		return c.Metrics
+	}
+	return metrics.Default
 }
 
 func (c Config) latency() time.Duration {
@@ -81,6 +93,7 @@ func RunPrague(db []*graph.Graph, idx *index.Set, wq workload.Query, sigma int, 
 	}
 	rep := &Report{Name: wq.Name}
 	lat := cfg.latency()
+	reg := cfg.registry()
 
 	ids := make([]int, len(wq.NodeLabels))
 	for i, l := range wq.NodeLabels {
@@ -96,6 +109,9 @@ func RunPrague(db []*graph.Graph, idx *index.Set, wq workload.Query, sigma int, 
 		if err != nil {
 			return nil, fmt.Errorf("session: drawing edge %d of %s: %w", i+1, wq.Name, err)
 		}
+		reg.Counter(metrics.CounterStepsEvaluated).Inc()
+		reg.Histogram(metrics.HistSpigBuild).Observe(out.SpigTime)
+		reg.Histogram(metrics.HistStepEval).Observe(out.EvalTime)
 		sr := StepReport{
 			Step: out.Step, SpigTime: out.SpigTime, EvalTime: out.EvalTime,
 			Status: out.Status, NeedsChoice: out.NeedsChoice,
@@ -136,6 +152,7 @@ func RunPrague(db []*graph.Graph, idx *index.Set, wq workload.Query, sigma int, 
 			times := e.Stats().ModificationTime
 			rep.ModificationTimes = append(rep.ModificationTimes, times[len(times)-1])
 			rep.DeletedSteps = append(rep.DeletedSteps, del)
+			reg.Histogram(metrics.HistModification).Observe(times[len(times)-1])
 		}
 	}
 
@@ -148,6 +165,8 @@ func RunPrague(db []*graph.Graph, idx *index.Set, wq workload.Query, sigma int, 
 	}
 	rep.Results = results
 	rep.SRT = e.Stats().RunTime
+	reg.Counter(metrics.CounterRuns).Inc()
+	reg.Histogram(metrics.HistSRT).Observe(rep.SRT)
 	return rep, nil
 }
 

@@ -1,0 +1,185 @@
+// Package workpool provides the shared bounded worker pool behind PRAGUE's
+// verification hot path. A service multiplexing many formulation sessions
+// owns one Pool; every session's verification fan-out (exact subgraph
+// isomorphism over Rq, SimVerify over Rver) is submitted to it, so total
+// verification concurrency stays bounded no matter how many sessions are
+// active — replacing the earlier per-call goroutine spawning.
+//
+// All submission paths are context-aware: cancellation is checked between
+// candidates, and callers get back the partial result plus ctx.Err().
+package workpool
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Pool runs submitted closures on a fixed set of persistent workers.
+// Filter may be called concurrently from many sessions; tasks interleave
+// fairly because each candidate is its own unit of work.
+type Pool struct {
+	tasks   chan func()
+	workers int
+	wg      sync.WaitGroup
+	once    sync.Once
+
+	// OnBatch, if set, observes each verification batch routed through the
+	// pool (the batch's candidate count). Set it right after New, before
+	// the pool is shared; it is read without synchronization afterwards.
+	OnBatch func(candidates int)
+}
+
+// New creates a pool with n persistent workers. n < 1 defaults to
+// GOMAXPROCS. Close the pool when done to release the workers.
+func New(n int) *Pool {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{tasks: make(chan func()), workers: n}
+	p.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer p.wg.Done()
+			for task := range p.tasks {
+				task()
+			}
+		}()
+	}
+	return p
+}
+
+// Workers returns the pool's concurrency bound.
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// Close stops the workers after draining queued tasks. In-flight Filter
+// calls must have completed; Close is idempotent.
+func (p *Pool) Close() {
+	if p == nil {
+		return
+	}
+	p.once.Do(func() { close(p.tasks) })
+	p.wg.Wait()
+}
+
+// Filter returns the ids for which pred holds, preserving input order.
+// Candidates are checked on the pool's workers; a nil pool, a single-worker
+// pool, or a tiny batch runs inline. Cancellation is polled between
+// candidates: on a done context Filter stops early and returns the verified
+// prefix found so far together with ctx.Err().
+func (p *Pool) Filter(ctx context.Context, ids []int, pred func(id int) bool) ([]int, error) {
+	if len(ids) == 0 {
+		return nil, ctx.Err()
+	}
+	if p != nil && p.OnBatch != nil {
+		p.OnBatch(len(ids))
+	}
+	if p == nil || p.workers <= 1 || len(ids) < 2 {
+		return filterInline(ctx, ids, pred)
+	}
+
+	keep := make([]bool, len(ids))
+	var wg sync.WaitGroup
+	var err error
+submit:
+	for i := range ids {
+		if cerr := ctx.Err(); cerr != nil {
+			err = cerr
+			break submit
+		}
+		i := i
+		wg.Add(1)
+		task := func() {
+			defer wg.Done()
+			if ctx.Err() != nil {
+				return
+			}
+			keep[i] = pred(ids[i])
+		}
+		select {
+		case p.tasks <- task:
+		case <-ctx.Done():
+			wg.Done()
+			err = ctx.Err()
+			break submit
+		}
+	}
+	wg.Wait()
+	if err == nil {
+		err = ctx.Err()
+	}
+	var out []int
+	for i, k := range keep {
+		if k {
+			out = append(out, ids[i])
+		}
+	}
+	return out, err
+}
+
+// FilterN is Filter with an explicit per-call worker bound for callers that
+// have no shared pool (the deprecated Engine.SetVerifyWorkers path). It
+// spawns at most workers goroutines for this call only.
+func FilterN(ctx context.Context, ids []int, workers int, pred func(id int) bool) ([]int, error) {
+	if len(ids) == 0 {
+		return nil, ctx.Err()
+	}
+	if workers <= 1 || len(ids) < 2*workers {
+		return filterInline(ctx, ids, pred)
+	}
+	keep := make([]bool, len(ids))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if ctx.Err() != nil {
+					continue
+				}
+				keep[i] = pred(ids[i])
+			}
+		}()
+	}
+	var err error
+feed:
+	for i := range ids {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			err = ctx.Err()
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+	if err == nil {
+		err = ctx.Err()
+	}
+	var out []int
+	for i, k := range keep {
+		if k {
+			out = append(out, ids[i])
+		}
+	}
+	return out, err
+}
+
+func filterInline(ctx context.Context, ids []int, pred func(id int) bool) ([]int, error) {
+	var out []int
+	for _, id := range ids {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		if pred(id) {
+			out = append(out, id)
+		}
+	}
+	return out, nil
+}

@@ -11,7 +11,7 @@
 // exact candidate set empties, suggests query modifications, and supports
 // cheap edge deletion at any time.
 //
-// Typical use:
+// Typical single-user use:
 //
 //	db, _ := prague.GenerateMolecules(2000, 42)          // or LoadDatabase
 //	ix, _ := prague.BuildIndexes(db, prague.IndexOptions{Alpha: 0.1, Beta: 6})
@@ -23,18 +23,60 @@
 //		s.ChooseSimilarity()                         // ... or s.DeleteEdge
 //	}
 //	results, _ := s.Run()                                // SRT-cheap finish
+//
+// To serve many concurrent users over one database, create a Service instead
+// of bare sessions: it multiplexes id-addressed sessions over a shared
+// bounded verification pool, evicts idle sessions, and records metrics. All
+// Service calls are context-first:
+//
+//	svc, _ := prague.NewService(db, ix,
+//		prague.WithSigma(3),
+//		prague.WithVerifyWorkers(8),
+//		prague.WithSessionTTL(15*time.Minute))
+//	defer svc.Close()
+//	ss, _ := svc.Create(ctx)
+//	a, _ := ss.AddNode("C")
+//	b, _ := ss.AddNode("N")
+//	out, _ := ss.AddEdge(ctx, a, b)
+//	results, err := ss.Run(ctx)   // ErrAwaitingChoice until resolved
 package prague
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"prague/internal/core"
 	"prague/internal/dataset"
 	"prague/internal/graph"
 	"prague/internal/index"
+	"prague/internal/metrics"
 	"prague/internal/mining"
 	"prague/internal/patterns"
+	"prague/internal/service"
+)
+
+// Sentinel errors. Test with errors.Is; every returned error that matches
+// one of these wraps it with context.
+var (
+	// ErrEmptyQuery: Run or Explain on a query with no edges.
+	ErrEmptyQuery = core.ErrEmptyQuery
+	// ErrAwaitingChoice: the exact candidate set emptied and the session is
+	// waiting for the Modify-or-SimQuery decision.
+	ErrAwaitingChoice = core.ErrAwaitingChoice
+	// ErrGraphNotFound: a graph id outside the database.
+	ErrGraphNotFound = core.ErrGraphNotFound
+	// ErrNegativeSigma: a negative subgraph distance threshold.
+	ErrNegativeSigma = core.ErrNegativeSigma
+	// ErrEmptyDatabase: a database with no graphs.
+	ErrEmptyDatabase = errors.New("empty database")
+	// ErrSessionNotFound: unknown, deleted, or evicted session id.
+	ErrSessionNotFound = service.ErrSessionNotFound
+	// ErrServiceClosed: the service has been shut down.
+	ErrServiceClosed = service.ErrServiceClosed
+	// ErrTooManySessions: the WithMaxSessions limit is reached.
+	ErrTooManySessions = service.ErrTooManySessions
 )
 
 // Graph is a connected, undirected, node-labeled graph — the data model for
@@ -80,10 +122,10 @@ type Database struct {
 }
 
 // NewDatabase wraps a set of graphs as a database, renumbering identifiers
-// densely in slice order.
+// densely in slice order. An empty slice returns ErrEmptyDatabase.
 func NewDatabase(graphs []*Graph) (*Database, error) {
 	if len(graphs) == 0 {
-		return nil, fmt.Errorf("prague: empty database")
+		return nil, fmt.Errorf("prague: %w", ErrEmptyDatabase)
 	}
 	for i, g := range graphs {
 		if g == nil {
@@ -148,10 +190,11 @@ func (db *Database) Len() int { return len(db.graphs) }
 // database and must not be mutated.
 func (db *Database) Graphs() []*Graph { return db.graphs }
 
-// Graph returns the data graph with the given identifier.
+// Graph returns the data graph with the given identifier, or an error
+// wrapping ErrGraphNotFound.
 func (db *Database) Graph(id int) (*Graph, error) {
 	if id < 0 || id >= len(db.graphs) {
-		return nil, fmt.Errorf("prague: no graph with id %d", id)
+		return nil, fmt.Errorf("prague: id %d: %w", id, ErrGraphNotFound)
 	}
 	return db.graphs[id], nil
 }
@@ -203,11 +246,74 @@ func SaveIndexes(ix *Indexes, dir string) error { return ix.Save(dir) }
 // LoadIndexes loads persisted indexes from dir.
 func LoadIndexes(dir string) (*Indexes, error) { return index.Load(dir) }
 
-// NewSession starts a PRAGUE session over the database with subgraph
-// distance threshold sigma (how many query edges an approximate match may
-// miss).
+// NewSession starts a single-user PRAGUE session over the database with
+// subgraph distance threshold sigma (how many query edges an approximate
+// match may miss). For serving many users, prefer NewService.
 func NewSession(db *Database, ix *Indexes, sigma int) (*Session, error) {
 	return core.New(db.graphs, ix, sigma)
+}
+
+// Service multiplexes many concurrent, id-addressed formulation sessions
+// over one immutable (database, indexes) pair: a shared bounded verification
+// worker pool, per-session serialization, idle-session eviction, and a
+// metrics registry. See NewService.
+type Service = service.Service
+
+// ManagedSession is one user's session inside a Service. Unlike the bare
+// Session it is context-first and safe for concurrent use, and its Run
+// refuses with ErrAwaitingChoice until a pending Modify-or-SimQuery choice
+// is resolved.
+type ManagedSession = service.Session
+
+// SessionInfo is a point-in-time description of a managed session's state.
+type SessionInfo = service.Info
+
+// Option configures a Service at construction; see WithSigma,
+// WithVerifyWorkers, WithSessionTTL, WithMaxSessions, WithMetrics.
+type Option = service.Option
+
+// Metrics is a registry of counters and latency histograms; its Snapshot
+// serializes to JSON. The zero value is ready to use (see also NewMetrics);
+// the package-level default registry is DefaultMetrics.
+type Metrics = metrics.Registry
+
+// NewMetrics returns an empty metrics registry for WithMetrics.
+func NewMetrics() *Metrics { return metrics.NewRegistry() }
+
+// MetricsSnapshot is a point-in-time JSON-serializable metrics capture.
+type MetricsSnapshot = metrics.Snapshot
+
+// DefaultMetrics is the registry services record into unless WithMetrics
+// overrides it.
+var DefaultMetrics = metrics.Default
+
+// WithSigma sets the subgraph distance threshold σ for the service's
+// sessions (default 3, the paper's setting).
+func WithSigma(sigma int) Option { return service.WithSigma(sigma) }
+
+// WithVerifyWorkers bounds the service's shared verification pool (default
+// GOMAXPROCS). It replaces the deprecated Session.SetVerifyWorkers.
+func WithVerifyWorkers(n int) Option { return service.WithVerifyWorkers(n) }
+
+// WithSessionTTL sets how long an idle session survives before eviction
+// (default 30m; ≤ 0 disables eviction).
+func WithSessionTTL(d time.Duration) Option { return service.WithSessionTTL(d) }
+
+// WithMaxSessions caps concurrently live sessions (default 0: unlimited).
+func WithMaxSessions(n int) Option { return service.WithMaxSessions(n) }
+
+// WithMetrics records the service's metrics into reg instead of
+// DefaultMetrics.
+func WithMetrics(reg *Metrics) Option { return service.WithMetrics(reg) }
+
+// NewService builds a concurrent session service over the database and
+// indexes. The database and indexes must not be mutated afterwards. Close
+// the service when done; it owns background goroutines.
+func NewService(db *Database, ix *Indexes, opts ...Option) (*Service, error) {
+	if db == nil || db.Len() == 0 {
+		return nil, fmt.Errorf("prague: new service: %w", ErrEmptyDatabase)
+	}
+	return service.New(db.graphs, ix, opts...)
 }
 
 // Canned patterns for Session.AddPattern — the drag-and-drop composition

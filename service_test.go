@@ -1,0 +1,125 @@
+package prague
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// sharedIndexes builds one small database + index pair for the public-API
+// service tests (index construction dominates test time).
+var sharedIndexes struct {
+	once sync.Once
+	db   *Database
+	ix   *Indexes
+	err  error
+}
+
+func serviceFixture(t *testing.T) (*Database, *Indexes) {
+	t.Helper()
+	sharedIndexes.once.Do(func() {
+		db, err := GenerateMolecules(200, 42)
+		if err != nil {
+			sharedIndexes.err = err
+			return
+		}
+		ix, err := BuildIndexes(db, IndexOptions{Alpha: 0.1, Beta: 3, MaxFragmentSize: 5})
+		if err != nil {
+			sharedIndexes.err = err
+			return
+		}
+		sharedIndexes.db, sharedIndexes.ix = db, ix
+	})
+	if sharedIndexes.err != nil {
+		t.Fatal(sharedIndexes.err)
+	}
+	return sharedIndexes.db, sharedIndexes.ix
+}
+
+func TestServiceEndToEnd(t *testing.T) {
+	db, ix := serviceFixture(t)
+	reg := &Metrics{}
+	svc, err := NewService(db, ix,
+		WithSigma(2),
+		WithVerifyWorkers(4),
+		WithSessionTTL(time.Minute),
+		WithMaxSessions(10),
+		WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	ctx := context.Background()
+	ss, err := svc.Create(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := svc.Get(ss.ID()); err != nil || got != ss {
+		t.Fatalf("Get(%q) = %v, %v", ss.ID(), got, err)
+	}
+
+	a, _ := ss.AddNode("C")
+	b, _ := ss.AddNode("C")
+	out, err := ss.AddEdge(ctx, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NeedsChoice {
+		if _, err := ss.Run(ctx); !errors.Is(err, ErrAwaitingChoice) {
+			t.Fatalf("Run while awaiting choice: err = %v, want ErrAwaitingChoice", err)
+		}
+		if _, err := ss.ChooseSimilarity(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	results, err := ss.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("C-C query found nothing in a molecule database")
+	}
+
+	snap := svc.Snapshot()
+	if snap.Counters["sessions_created"] != 1 || snap.Counters["runs_executed"] != 1 {
+		t.Errorf("counters off: %v", snap.Counters)
+	}
+	var buf strings.Builder
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"srt"`) {
+		t.Errorf("snapshot JSON missing srt histogram:\n%s", buf.String())
+	}
+
+	if err := svc.Delete(ss.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Get(ss.ID()); !errors.Is(err, ErrSessionNotFound) {
+		t.Errorf("Get after Delete: err = %v, want ErrSessionNotFound", err)
+	}
+}
+
+func TestNewServiceValidation(t *testing.T) {
+	db, ix := serviceFixture(t)
+	if _, err := NewService(nil, ix); !errors.Is(err, ErrEmptyDatabase) {
+		t.Errorf("nil database: err = %v, want ErrEmptyDatabase", err)
+	}
+	if _, err := NewService(db, ix, WithSigma(-1)); !errors.Is(err, ErrNegativeSigma) {
+		t.Errorf("σ < 0: err = %v, want ErrNegativeSigma", err)
+	}
+}
+
+func TestDatabaseSentinels(t *testing.T) {
+	db, _ := serviceFixture(t)
+	if _, err := NewDatabase(nil); !errors.Is(err, ErrEmptyDatabase) {
+		t.Errorf("NewDatabase(nil): err = %v, want ErrEmptyDatabase", err)
+	}
+	if _, err := db.Graph(db.Len() + 1); !errors.Is(err, ErrGraphNotFound) {
+		t.Errorf("Graph out of range: err = %v, want ErrGraphNotFound", err)
+	}
+}
