@@ -6,6 +6,10 @@
 package prague_test
 
 import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
 	"sync"
 	"testing"
 
@@ -16,7 +20,9 @@ import (
 	"prague/internal/grafil"
 	"prague/internal/graph"
 	"prague/internal/index"
+	"prague/internal/metrics"
 	"prague/internal/mining"
+	"prague/internal/service"
 	"prague/internal/session"
 	"prague/internal/sigma"
 	"prague/internal/spig"
@@ -40,7 +46,7 @@ var (
 	fixErr  error
 )
 
-func aidsFixture(b *testing.B) *benchFixture {
+func aidsFixture(b testing.TB) *benchFixture {
 	b.Helper()
 	fixOnce.Do(func() {
 		f := &benchFixture{}
@@ -591,6 +597,298 @@ func BenchmarkMining(b *testing.B) {
 		if _, err := mining.Mine(small, mining.Options{MinSupportRatio: 0.15, MaxSize: 4}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// ---- Candidate cache (shared cross-session verification cache) ----
+
+// candCacheFleet is the number of sessions in the repeated-fragment
+// multi-session workload: every session formulates the same query, so all but
+// the first should be served from the shared cache (or coalesced onto the
+// first's in-flight verification).
+const candCacheFleet = 6
+
+// cacheBenchFixture is a dedicated, larger database for the candidate-cache
+// benchmarks. Cache wins scale with verification cost, which grows with the
+// database, while per-step SPIG construction does not — at the small shared
+// fixture's 400 graphs formulation overhead drowns out the cached work.
+type cacheBenchFixture struct {
+	db  []*graph.Graph
+	idx *index.Set
+	wq  workload.Query
+}
+
+var (
+	cacheFixOnce sync.Once
+	cacheFix     *cacheBenchFixture
+	cacheFixErr  error
+)
+
+func cacheFixture(b testing.TB) *cacheBenchFixture {
+	b.Helper()
+	cacheFixOnce.Do(func() {
+		f := &cacheBenchFixture{}
+		f.db, cacheFixErr = dataset.Molecules(dataset.MoleculeOptions{NumGraphs: 1600, Seed: 42, MeanNodes: 45})
+		if cacheFixErr != nil {
+			return
+		}
+		var mined *mining.Result
+		mined, cacheFixErr = mining.Mine(f.db, mining.Options{
+			MinSupportRatio: 0.15, MaxSize: 5, IncludeZeroSupportPairs: true,
+		})
+		if cacheFixErr != nil {
+			return
+		}
+		f.idx, cacheFixErr = index.Build(mined, 0.15, 4)
+		if cacheFixErr != nil {
+			return
+		}
+		// Sample containment queries (6 edges — one above the mined MaxSize,
+		// so the engine can never answer them verification-free) and keep the
+		// one with the largest candidate set: its Run is dominated by the
+		// subgraph-isomorphism verification the cache elides. Selection only
+		// formulates (set algebra), it never runs verification.
+		var cqs []workload.Query
+		cqs, cacheFixErr = workload.ContainmentQueries(f.db, 6, []int{6}, 44)
+		if cacheFixErr != nil {
+			return
+		}
+		best := 0
+		for _, wq := range cqs {
+			var eng *core.Engine
+			eng, cacheFixErr = core.New(f.db, f.idx, 3)
+			if cacheFixErr != nil {
+				return
+			}
+			ids := make([]int, len(wq.NodeLabels))
+			for i, l := range wq.NodeLabels {
+				ids[i] = eng.AddNode(l)
+			}
+			exact := true
+			for _, ed := range wq.Edges {
+				var out core.StepOutcome
+				out, cacheFixErr = eng.AddEdge(ids[ed[0]], ids[ed[1]])
+				if cacheFixErr != nil {
+					return
+				}
+				if out.NeedsChoice {
+					eng.ChooseSimilarity()
+					exact = false
+				}
+			}
+			if rq := len(eng.Rq()); exact && rq > best {
+				best, f.wq = rq, wq
+			}
+		}
+		if best == 0 {
+			cacheFixErr = fmt.Errorf("cache fixture: no containment query with a non-empty candidate set")
+			return
+		}
+		cacheFix = f
+	})
+	if cacheFixErr != nil {
+		b.Fatal(cacheFixErr)
+	}
+	return cacheFix
+}
+
+// newCacheBenchService builds a service over the cache fixture with the given
+// cache budget (≤ 0 disables the cache) and a private metrics registry.
+func newCacheBenchService(tb testing.TB, f *cacheBenchFixture, cacheBytes int64) *service.Service {
+	tb.Helper()
+	svc, err := service.New(f.db, f.idx,
+		service.WithSigma(3),
+		service.WithMetrics(metrics.NewRegistry()),
+		service.WithSessionTTL(0),
+		service.WithCandidateCache(cacheBytes))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return svc
+}
+
+// driveServiceSession formulates wq edge by edge in a fresh session, runs it,
+// and deletes the session. Returns an error instead of failing the test so it
+// can run on fleet goroutines.
+func driveServiceSession(svc *service.Service, wq workload.Query) error {
+	ctx := context.Background()
+	ss, err := svc.Create(ctx)
+	if err != nil {
+		return err
+	}
+	ids := make([]int, len(wq.NodeLabels))
+	for i, l := range wq.NodeLabels {
+		if ids[i], err = ss.AddNode(l); err != nil {
+			return err
+		}
+	}
+	for _, ed := range wq.Edges {
+		out, err := ss.AddEdge(ctx, ids[ed[0]], ids[ed[1]])
+		if err != nil {
+			return err
+		}
+		if out.NeedsChoice {
+			if _, err := ss.ChooseSimilarity(ctx); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := ss.Run(ctx); err != nil {
+		return err
+	}
+	return svc.Delete(ss.ID())
+}
+
+// runCacheFleet formulates the same query in candCacheFleet concurrent
+// sessions and waits for all of them.
+func runCacheFleet(svc *service.Service, wq workload.Query, sessions int) error {
+	errc := make(chan error, sessions)
+	for s := 0; s < sessions; s++ {
+		go func() { errc <- driveServiceSession(svc, wq) }()
+	}
+	var first error
+	for s := 0; s < sessions; s++ {
+		if err := <-errc; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// BenchmarkCandCacheColdMiss times one full session against an empty cache:
+// every candidate list and containment set is computed and published.
+func BenchmarkCandCacheColdMiss(b *testing.B) {
+	f := cacheFixture(b)
+	wq := f.wq
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		svc := newCacheBenchService(b, f, service.DefaultCandCacheBytes)
+		b.StartTimer()
+		if err := driveServiceSession(svc, wq); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		svc.Close()
+		b.StartTimer()
+	}
+}
+
+// BenchmarkCandCacheWarmHit times a session whose every fragment was already
+// published by an earlier session of the same service.
+func BenchmarkCandCacheWarmHit(b *testing.B) {
+	f := cacheFixture(b)
+	wq := f.wq
+	svc := newCacheBenchService(b, f, service.DefaultCandCacheBytes)
+	defer svc.Close()
+	if err := driveServiceSession(svc, wq); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := driveServiceSession(svc, wq); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(svc.CandidateCache().Stats().HitRatio(), "hit-ratio")
+}
+
+// BenchmarkCandCacheMultiSession is the headline comparison: a fleet of
+// concurrent sessions formulating the same query against a fresh service,
+// with and without the shared cache.
+func BenchmarkCandCacheMultiSession(b *testing.B) {
+	f := cacheFixture(b)
+	wq := f.wq
+	for _, v := range []struct {
+		name  string
+		bytes int64
+	}{
+		{"cache-on", service.DefaultCandCacheBytes},
+		{"cache-off", 0},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				svc := newCacheBenchService(b, f, v.bytes)
+				b.StartTimer()
+				if err := runCacheFleet(svc, wq, candCacheFleet); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				svc.Close()
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// TestCandCacheBenchArtifact measures the multi-session repeated-fragment
+// workload with the cache on and off, writes BENCH_candcache.json next to the
+// test binary's working directory, and enforces the ≥ 2x speedup acceptance
+// bar of the cache work.
+func TestCandCacheBenchArtifact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark artifact skipped in -short mode")
+	}
+	f := cacheFixture(t)
+	wq := f.wq
+	measure := func(cacheBytes int64) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				svc := newCacheBenchService(b, f, cacheBytes)
+				b.StartTimer()
+				if err := runCacheFleet(svc, wq, candCacheFleet); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				svc.Close()
+				b.StartTimer()
+			}
+		})
+	}
+	on := measure(service.DefaultCandCacheBytes)
+	off := measure(0)
+
+	// One instrumented fleet for the hit ratio and counter snapshot.
+	svc := newCacheBenchService(t, f, service.DefaultCandCacheBytes)
+	if err := runCacheFleet(svc, wq, candCacheFleet); err != nil {
+		t.Fatal(err)
+	}
+	stats := svc.CandidateCache().Stats()
+	svc.Close()
+
+	speedup := float64(off.NsPerOp()) / float64(on.NsPerOp())
+	artifact := map[string]any{
+		"workload": "repeated-fragment multi-session fleet",
+		"sessions": candCacheFleet,
+		"query":    wq.Name,
+		"cache_on": map[string]int64{
+			"ns_per_op": on.NsPerOp(), "allocs_per_op": on.AllocsPerOp(),
+		},
+		"cache_off": map[string]int64{
+			"ns_per_op": off.NsPerOp(), "allocs_per_op": off.AllocsPerOp(),
+		},
+		"speedup":        speedup,
+		"hit_ratio":      stats.HitRatio(),
+		"cache_counters": stats,
+	}
+	buf, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_candcache.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("cand cache: on=%d ns/op, off=%d ns/op, speedup=%.2fx, hit-ratio=%.3f",
+		on.NsPerOp(), off.NsPerOp(), speedup, stats.HitRatio())
+	if speedup < 2 {
+		t.Errorf("cache speedup %.2fx below the 2x acceptance bar (on=%d ns/op, off=%d ns/op)",
+			speedup, on.NsPerOp(), off.NsPerOp())
 	}
 }
 

@@ -1,0 +1,115 @@
+// Package clock abstracts wall-clock reads and ticker creation behind a
+// small interface so time-driven behaviour (session idle eviction, TTL
+// janitors) can be tested deterministically. Production code uses Real;
+// tests inject a Fake and call Advance to fire due ticks synchronously,
+// replacing sleep-based tests that flake under -race and slow CI machines.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock provides the current time and tickers. Implementations are safe for
+// concurrent use.
+type Clock interface {
+	Now() time.Time
+	NewTicker(d time.Duration) Ticker
+}
+
+// Ticker is the injectable subset of time.Ticker.
+type Ticker interface {
+	// C returns the channel on which ticks are delivered.
+	C() <-chan time.Time
+	// Stop turns off the ticker. As with time.Ticker, Stop does not close
+	// the channel.
+	Stop()
+}
+
+// Real is the system clock. The zero value is ready to use.
+type Real struct{}
+
+func (Real) Now() time.Time { return time.Now() }
+
+func (Real) NewTicker(d time.Duration) Ticker { return realTicker{time.NewTicker(d)} }
+
+type realTicker struct{ t *time.Ticker }
+
+func (r realTicker) C() <-chan time.Time { return r.t.C }
+func (r realTicker) Stop()               { r.t.Stop() }
+
+// Fake is a manually advanced clock. Time moves only when Advance (or Set)
+// is called; tickers created from it fire during Advance, delivering at most
+// one pending tick each (matching time.Ticker's drop-on-slow-receiver
+// behaviour, with the tick's timestamp at its scheduled instant).
+type Fake struct {
+	mu      sync.Mutex
+	now     time.Time
+	tickers []*fakeTicker
+}
+
+// NewFake returns a fake clock frozen at start.
+func NewFake(start time.Time) *Fake {
+	return &Fake{now: start}
+}
+
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+func (f *Fake) NewTicker(d time.Duration) Ticker {
+	if d <= 0 {
+		panic("clock: non-positive ticker interval")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	t := &fakeTicker{
+		f:        f,
+		ch:       make(chan time.Time, 1),
+		interval: d,
+		next:     f.now.Add(d),
+	}
+	f.tickers = append(f.tickers, t)
+	return t
+}
+
+// Advance moves the clock forward by d and fires every ticker whose deadline
+// was reached, in deadline order per ticker. Sends are non-blocking: a tick
+// nobody has consumed yet is dropped, like a slow receiver of time.Ticker.
+func (f *Fake) Advance(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.now = f.now.Add(d)
+	for _, t := range f.tickers {
+		t.fireDueLocked(f.now)
+	}
+}
+
+type fakeTicker struct {
+	f        *Fake
+	ch       chan time.Time
+	interval time.Duration
+	next     time.Time
+	stopped  bool
+}
+
+func (t *fakeTicker) C() <-chan time.Time { return t.ch }
+
+func (t *fakeTicker) Stop() {
+	t.f.mu.Lock()
+	t.stopped = true
+	t.f.mu.Unlock()
+}
+
+// fireDueLocked delivers all ticks scheduled at or before now; f.mu is held.
+func (t *fakeTicker) fireDueLocked(now time.Time) {
+	for !t.stopped && !t.next.After(now) {
+		select {
+		case t.ch <- t.next:
+		default:
+		}
+		t.next = t.next.Add(t.interval)
+	}
+}

@@ -1,0 +1,93 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRealNow(t *testing.T) {
+	before := time.Now()
+	got := Real{}.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Fatalf("Real.Now() = %v, want within [%v, %v]", got, before, after)
+	}
+	tick := Real{}.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	select {
+	case <-tick.C():
+	case <-time.After(time.Second):
+		t.Fatal("real ticker did not fire within 1s")
+	}
+}
+
+func TestFakeAdvanceFiresDueTicks(t *testing.T) {
+	start := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	f := NewFake(start)
+	tick := f.NewTicker(10 * time.Second)
+
+	select {
+	case <-tick.C():
+		t.Fatal("ticker fired before any advance")
+	default:
+	}
+
+	f.Advance(9 * time.Second)
+	select {
+	case <-tick.C():
+		t.Fatal("ticker fired before its interval elapsed")
+	default:
+	}
+
+	f.Advance(time.Second)
+	select {
+	case ts := <-tick.C():
+		if want := start.Add(10 * time.Second); !ts.Equal(want) {
+			t.Fatalf("tick timestamp = %v, want %v", ts, want)
+		}
+	default:
+		t.Fatal("ticker did not fire at its deadline")
+	}
+	if want := start.Add(10 * time.Second); !f.Now().Equal(want) {
+		t.Fatalf("Now() = %v, want %v", f.Now(), want)
+	}
+}
+
+func TestFakeDropsUnconsumedTicks(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	tick := f.NewTicker(time.Second)
+	// Three intervals elapse with nobody receiving: only one tick is pending.
+	f.Advance(3 * time.Second)
+	n := 0
+	for {
+		select {
+		case <-tick.C():
+			n++
+			continue
+		default:
+		}
+		break
+	}
+	if n != 1 {
+		t.Fatalf("pending ticks = %d, want 1 (drop-on-slow-receiver)", n)
+	}
+	// The schedule keeps its cadence: the next advance past a deadline fires.
+	f.Advance(time.Second)
+	select {
+	case <-tick.C():
+	default:
+		t.Fatal("ticker did not resume after dropped ticks")
+	}
+}
+
+func TestFakeStop(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	tick := f.NewTicker(time.Second)
+	tick.Stop()
+	f.Advance(time.Minute)
+	select {
+	case <-tick.C():
+		t.Fatal("stopped ticker fired")
+	default:
+	}
+}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"context"
+
+	"prague/internal/candcache"
+	"prague/internal/graph"
+)
+
+// Cache key namespaces. Both are keyed by a fragment's minimum-DFS canonical
+// code, which identifies the computation completely on an immutable
+// (database, indexes) pair: candKeyPrefix stores the Algorithm 3 candidate
+// id set of a non-indexed fragment, exactKeyPrefix stores the verified
+// containment id set (every data graph the fragment is subgraph-isomorphic
+// to) — the output of the expensive verification pass.
+const (
+	candKeyPrefix  = "cand:"
+	exactKeyPrefix = "exact:"
+)
+
+// SetCandidateCache injects the shared cross-session candidate cache
+// (typically owned by a service multiplexing many sessions over one
+// immutable database). A nil cache restores uncached evaluation. Cached
+// slices are immutable; the engine never mutates candidate lists it did not
+// allocate, so sharing is safe.
+func (e *Engine) SetCandidateCache(c *candcache.Cache) { e.cache = c }
+
+// exactContainment returns the ids of data graphs containing frag, verified
+// by full subgraph isomorphism over the sound candidate superset cands.
+// With a cache the verified set is computed once per canonical code across
+// all sessions (singleflight) and then served from memory; the result is
+// independent of which sound superset a particular session derived, so
+// cross-session sharing is exact. Cancellation mid-verification returns the
+// partial prefix plus ctx.Err() and publishes nothing.
+func (e *Engine) exactContainment(ctx context.Context, code string, frag *graph.Graph, cands []int) ([]int, error) {
+	verify := func(ctx context.Context) ([]int, error) {
+		return e.filter(ctx, cands, func(id int) bool {
+			return graph.SubgraphIsomorphic(frag, e.db[id])
+		})
+	}
+	if e.cache == nil {
+		return verify(ctx)
+	}
+	if code == "" {
+		code = graph.CanonicalCode(frag)
+	}
+	return e.cache.Do(ctx, exactKeyPrefix+code, verify)
+}

@@ -15,6 +15,16 @@ import (
 // vertex: in similarity mode Algorithm 4 revisits the same vertices after
 // every formulation step, and a vertex's fragment list never changes once
 // built (the memo is dropped on modification, when vertices can disappear).
+//
+// With a shared cross-session cache injected, the intersection result of a
+// non-indexed (NIF) vertex is additionally published under its canonical
+// code, so concurrent sessions formulating overlapping fragments intersect
+// each list once service-wide. Indexed vertices bypass the cache: their
+// candidate list is the index's own FSG list, already an O(1) lookup.
+// Cached NIF lists are sound candidate supersets; every consumer verifies
+// them (Rq verification in Run, Rver in SimilarResultsGen), so a list
+// published by a session with a differently-inherited Φ/Υ never changes
+// final answers.
 func (e *Engine) exactSubCandidates(v *spig.Vertex) []int {
 	if v == nil {
 		return nil
@@ -22,7 +32,15 @@ func (e *Engine) exactSubCandidates(v *spig.Vertex) []int {
 	if ids, ok := e.candMemo[v]; ok {
 		return ids
 	}
-	ids := e.computeCandidates(v)
+	var ids []int
+	if e.cache == nil || v.Kind == index.KindFrequent || v.Kind == index.KindDIF {
+		ids = e.computeCandidates(v)
+	} else {
+		// Candidate intersection is pure and never polls cancellation, so a
+		// background context is correct here.
+		ids, _ = e.cache.Do(context.Background(), candKeyPrefix+v.Code,
+			func(context.Context) ([]int, error) { return e.computeCandidates(v), nil })
+	}
 	if e.candMemo == nil {
 		e.candMemo = map[*spig.Vertex][]int{}
 	}

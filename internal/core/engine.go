@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"prague/internal/candcache"
 	"prague/internal/graph"
 	"prague/internal/index"
 	"prague/internal/intset"
@@ -86,6 +87,7 @@ type Engine struct {
 	candMemo      map[*spig.Vertex][]int // per-vertex Algorithm 3 results
 	verifyWorkers int                    // per-call goroutines (deprecated SetVerifyWorkers path)
 	pool          *workpool.Pool         // shared verification pool (service-injected), or nil
+	cache         *candcache.Cache       // shared cross-session candidate cache, or nil
 	stats         SessionStats
 }
 
@@ -301,8 +303,15 @@ func (e *Engine) RunCtx(ctx context.Context) ([]Result, error) {
 				results = append(results, Result{GraphID: id, Distance: 0})
 			}
 		} else {
-			var err error
-			results, err = e.exactVerification(ctx, qg, e.rq)
+			code := ""
+			if target := e.spigs.Target(e.q); target != nil {
+				code = target.Code
+			}
+			matched, err := e.exactContainment(ctx, code, qg, e.rq)
+			results = make([]Result, 0, len(matched))
+			for _, id := range matched {
+				results = append(results, Result{GraphID: id, Distance: 0})
+			}
 			if err != nil {
 				return results, fmt.Errorf("core: run: %w", err)
 			}
@@ -327,18 +336,6 @@ func (e *Engine) RunCtx(ctx context.Context) ([]Result, error) {
 		return results, fmt.Errorf("core: run: %w", err)
 	}
 	return results, nil
-}
-
-// exactVerification filters Rq by full subgraph isomorphism.
-func (e *Engine) exactVerification(ctx context.Context, qg *graph.Graph, rq []int) ([]Result, error) {
-	matched, err := e.filter(ctx, rq, func(id int) bool {
-		return graph.SubgraphIsomorphic(qg, e.db[id])
-	})
-	out := make([]Result, 0, len(matched))
-	for _, id := range matched {
-		out = append(out, Result{GraphID: id, Distance: 0})
-	}
-	return out, err
 }
 
 func countLevelSets(ls levelSets) int { return len(flattenLevelSets(ls)) }

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"prague/internal/graph"
+	"prague/internal/index"
 	"prague/internal/intset"
 )
 
@@ -25,12 +26,13 @@ func (e *Engine) similarResultsGen(ctx context.Context, qg *graph.Graph) ([]Resu
 	assigned := map[int]int{} // graph id -> distance
 
 	// Distance-0 pass (only meaningful in similarity mode; in containment
-	// mode Run already returned when exact results existed).
+	// mode Run already returned when exact results existed). Routed through
+	// the shared cache: exact containment of the full query is the single
+	// most expensive verification, and concurrent sessions formulating the
+	// same query share one pass.
 	var ctxErr error
 	if target := e.spigs.Target(e.q); target != nil {
-		exact, err := e.filter(ctx, e.exactSubCandidates(target), func(id int) bool {
-			return graph.SubgraphIsomorphic(qg, e.db[id])
-		})
+		exact, err := e.exactContainment(ctx, target.Code, qg, e.exactSubCandidates(target))
 		for _, id := range exact {
 			assigned[id] = 0
 		}
@@ -50,10 +52,16 @@ func (e *Engine) similarResultsGen(ctx context.Context, qg *graph.Graph) ([]Resu
 		}
 		// Rver(i) minus everything already confirmed (Algorithm 5 line 3).
 		pending := intset.Diff(e.rver[i], keysSorted(assigned))
-		frags := e.levelFragments(i)
-		confirmed, err := e.filter(ctx, pending, func(id int) bool {
-			return containsAnyFragment(frags, e.db[id])
-		})
+		var confirmed []int
+		var err error
+		if e.cache != nil {
+			confirmed, err = e.verifyLevelCached(ctx, i, pending)
+		} else {
+			frags := e.levelFragments(i)
+			confirmed, err = e.filter(ctx, pending, func(id int) bool {
+				return containsAnyFragment(frags, e.db[id])
+			})
+		}
 		for _, id := range confirmed {
 			assigned[id] = dist
 		}
@@ -82,6 +90,34 @@ func (e *Engine) similarResultsGen(ctx context.Context, qg *graph.Graph) ([]Resu
 		return results[a].GraphID < results[b].GraphID
 	})
 	return results, ctxErr
+}
+
+// verifyLevelCached confirms pending Rver(i) candidates through the shared
+// cache: instead of scanning each pending graph against every level-i
+// fragment class, it resolves the verified containment set of each
+// non-indexed fragment (cached service-wide under the fragment's canonical
+// code) and unions their intersections with pending. Only NIF vertices
+// matter: a pending id containing an indexed level-i fragment would appear
+// in that fragment's FSG list — i.e. in Rfree(i) — and would have been
+// assigned before pending was computed. Unlike the pending-scan's answer,
+// per-fragment containment sets are reusable across levels, sessions, and
+// queries, which is what makes them worth caching.
+func (e *Engine) verifyLevelCached(ctx context.Context, i int, pending []int) ([]int, error) {
+	if len(pending) == 0 {
+		return nil, nil
+	}
+	var confirmed []int
+	for _, v := range e.spigs.LevelVertices(i) {
+		if v.Kind == index.KindFrequent || v.Kind == index.KindDIF {
+			continue
+		}
+		ids, err := e.exactContainment(ctx, v.Code, v.Frag, e.exactSubCandidates(v))
+		confirmed = intset.Union(confirmed, intset.Intersect(pending, ids))
+		if err != nil {
+			return confirmed, err
+		}
+	}
+	return confirmed, nil
 }
 
 // levelFragments collects the fragment classes at SPIG level i — exactly the

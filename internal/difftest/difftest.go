@@ -1,0 +1,274 @@
+// Package difftest is the differential correctness harness: it generates
+// random labeled databases and random edit scripts, drives the PRAGUE engine
+// through each script twice — once with the shared candidate cache enabled
+// and once without — and requires every Run answer to be set-equal to the
+// index-free naivescan oracle (Definition 3 by construction).
+//
+// The two variants are deliberately allowed to diverge in *mode*: a cached
+// NIF candidate list published by an earlier script can be a different sound
+// superset than the one the uncached engine derives (Φ/Υ inheritance depends
+// on formulation order), so the empty-Rq prompt may fire for one variant and
+// not the other. Each variant therefore resolves its own choices and is
+// checked against the oracle matching its own final mode — containment or
+// similarity. What must never differ is the verified answer.
+//
+// The cache is shared across all scripts of a database, so later scripts
+// exercise genuine cross-session reuse (hits on entries a previous script
+// published), not just a warm private cache.
+package difftest
+
+import (
+	"math/rand"
+	"testing"
+
+	"prague/internal/candcache"
+	"prague/internal/core"
+	"prague/internal/graph"
+	"prague/internal/index"
+	"prague/internal/mining"
+	"prague/internal/naivescan"
+)
+
+// Config sizes a differential run. The zero value is not runnable; start
+// from Quick or Full.
+type Config struct {
+	Seed          int64
+	Databases     int   // distinct random (database, index) pairs
+	Scripts       int   // edit scripts per database
+	DBSize        int   // data graphs per database
+	Sigma         int   // subgraph distance threshold for similarity mode
+	CacheBytes    int64 // shared cache budget per database
+	OracleWorkers int   // naivescan parallelism
+}
+
+// Quick is the scaled-down configuration run under plain `go test`.
+func Quick() Config {
+	return Config{Seed: 1, Databases: 3, Scripts: 12, DBSize: 40, Sigma: 2, CacheBytes: 1 << 20, OracleWorkers: 2}
+}
+
+// Full is the deep configuration behind `-tags slow`: ≥ 1,000 randomized
+// comparison cases (each Run of each variant checked against the oracle).
+func Full() Config {
+	return Config{Seed: 42, Databases: 12, Scripts: 45, DBSize: 45, Sigma: 2, CacheBytes: 4 << 20, OracleWorkers: 4}
+}
+
+// Run executes the differential suite and returns how many comparison cases
+// it checked. Any divergence from the oracle fails tb immediately.
+func Run(tb testing.TB, cfg Config) int {
+	tb.Helper()
+	total := 0
+	for d := 0; d < cfg.Databases; d++ {
+		seed := cfg.Seed + int64(d)*7919
+		db, idx := randomDatabase(tb, seed, cfg.DBSize)
+		oracle, err := naivescan.New(db, cfg.OracleWorkers)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		cache := candcache.New(cfg.CacheBytes, nil)
+		if cache == nil {
+			tb.Fatalf("difftest: cache budget %d produced no cache", cfg.CacheBytes)
+		}
+		h := &harness{tb: tb, db: db, idx: idx, oracle: oracle, cache: cache, sigma: cfg.Sigma}
+		for s := 0; s < cfg.Scripts; s++ {
+			h.runScript(rand.New(rand.NewSource(seed + int64(s) + 1)))
+		}
+		if got := cache.Stats(); got.Hits+got.Coalesced == 0 && cfg.Scripts > 3 {
+			tb.Fatalf("difftest: db %d: %d scripts shared no cache entries (%+v) — the cached variant is not exercising the cache", d, cfg.Scripts, got)
+		}
+		total += h.cases
+	}
+	return total
+}
+
+var (
+	nodeLabels = []string{"C", "C", "C", "N", "O", "S"}
+	edgeLabels = []string{"", "", "", "1", "2"}
+)
+
+// randomDatabase builds a connected random molecule-like database and mines
+// its action-aware indexes.
+func randomDatabase(tb testing.TB, seed int64, n int) ([]*graph.Graph, *index.Set) {
+	tb.Helper()
+	r := rand.New(rand.NewSource(seed))
+	db := make([]*graph.Graph, 0, n)
+	for i := 0; i < n; i++ {
+		nodes := 4 + r.Intn(6)
+		g := graph.New(i)
+		for v := 0; v < nodes; v++ {
+			g.AddNode(nodeLabels[r.Intn(len(nodeLabels))])
+		}
+		for v := 1; v < nodes; v++ {
+			g.MustAddEdge(v, r.Intn(v))
+		}
+		for k := 0; k < r.Intn(3); k++ {
+			u, v := r.Intn(nodes), r.Intn(nodes)
+			if u != v && !g.HasEdge(u, v) {
+				g.MustAddEdge(u, v)
+			}
+		}
+		db = append(db, g)
+	}
+	res, err := mining.Mine(db, mining.Options{MinSupportRatio: 0.3, MaxSize: 6})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	idx, err := index.Build(res, 0.3, 3)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return db, idx
+}
+
+type harness struct {
+	tb     testing.TB
+	db     []*graph.Graph
+	idx    *index.Set
+	oracle *naivescan.Engine
+	cache  *candcache.Cache
+	sigma  int
+	cases  int
+}
+
+var variantNames = [2]string{"cache-off", "cache-on"}
+
+// runScript drives one random edit script through both engine variants in
+// lockstep. Structural validity (duplicate edges, disconnecting deletes) is
+// identical across variants because both hold the same query graph, so both
+// must accept or reject every operation together.
+func (h *harness) runScript(r *rand.Rand) {
+	off, err := core.New(h.db, h.idx, h.sigma)
+	if err != nil {
+		h.tb.Fatal(err)
+	}
+	on, err := core.New(h.db, h.idx, h.sigma)
+	if err != nil {
+		h.tb.Fatal(err)
+	}
+	on.SetCandidateCache(h.cache)
+	engines := [2]*core.Engine{off, on}
+
+	var nodes []int
+	addNode := func() int {
+		label := nodeLabels[r.Intn(len(nodeLabels))]
+		idOff := off.AddNode(label)
+		idOn := on.AddNode(label)
+		if idOff != idOn {
+			h.tb.Fatalf("difftest: node ids diverged: %d vs %d", idOff, idOn)
+		}
+		nodes = append(nodes, idOff)
+		return idOff
+	}
+	addNode()
+	addNode()
+
+	steps := 5 + r.Intn(6)
+	for k := 0; k < steps; k++ {
+		switch op := r.Intn(10); {
+		case op < 6 || off.Query().Size() == 0: // add an edge
+			var u int
+			if off.Query().Size() == 0 {
+				u = nodes[r.Intn(len(nodes))]
+			} else {
+				// Anchor at a node already in the fragment so the add is
+				// usually valid.
+				st := off.Query().Steps()
+				qe, _ := off.Query().Edge(st[r.Intn(len(st))])
+				if r.Intn(2) == 0 {
+					u = qe.A
+				} else {
+					u = qe.B
+				}
+			}
+			var v int
+			if r.Intn(3) == 0 && len(nodes) > 2 {
+				v = nodes[r.Intn(len(nodes))]
+			} else {
+				v = addNode()
+			}
+			bond := edgeLabels[r.Intn(len(edgeLabels))]
+			h.applyBoth(engines, "add", func(e *core.Engine) (core.StepOutcome, error) {
+				return e.AddLabeledEdge(u, v, bond)
+			})
+		case op < 8: // delete one deletable edge
+			if off.Query().Size() < 2 {
+				continue
+			}
+			var deletable []int
+			for _, s := range off.Query().Steps() {
+				if off.Query().CanDelete(s) {
+					deletable = append(deletable, s)
+				}
+			}
+			if len(deletable) == 0 {
+				continue
+			}
+			step := deletable[r.Intn(len(deletable))]
+			h.applyBoth(engines, "delete", func(e *core.Engine) (core.StepOutcome, error) {
+				return e.DeleteEdge(step)
+			})
+		default: // mid-script differential check
+			h.check(engines)
+		}
+	}
+	h.check(engines)
+}
+
+// applyBoth applies one formulation action to both variants, requires them
+// to agree on acceptance, and resolves the empty-Rq choice per variant.
+func (h *harness) applyBoth(engines [2]*core.Engine, what string, action func(e *core.Engine) (core.StepOutcome, error)) {
+	var errs [2]error
+	for i, e := range engines {
+		out, err := action(e)
+		errs[i] = err
+		if err == nil && out.NeedsChoice {
+			e.ChooseSimilarity()
+		}
+	}
+	if (errs[0] == nil) != (errs[1] == nil) {
+		h.tb.Fatalf("difftest: %s acceptance diverged: cache-off err=%v, cache-on err=%v", what, errs[0], errs[1])
+	}
+}
+
+// check runs both variants and compares each against the oracle that matches
+// its own final mode. Queries that emptied completely are skipped.
+func (h *harness) check(engines [2]*core.Engine) {
+	for i, e := range engines {
+		if e.Query().Size() == 0 {
+			continue
+		}
+		if e.AwaitingChoice() {
+			e.ChooseSimilarity()
+		}
+		got, err := e.Run()
+		if err != nil {
+			h.tb.Fatalf("difftest: %s: run: %v", variantNames[i], err)
+		}
+		qg, _ := e.Query().Graph()
+		if e.SimilarityMode() {
+			want, _ := h.oracle.Similarity(qg, h.sigma)
+			if len(got) != len(want) {
+				h.tb.Fatalf("difftest: %s: similarity result count %d, oracle %d\nquery: %v\ngot:  %v\nwant: %v",
+					variantNames[i], len(got), len(want), qg, got, want)
+			}
+			for j := range want {
+				if got[j].GraphID != want[j].GraphID || got[j].Distance != want[j].Distance {
+					h.tb.Fatalf("difftest: %s: similarity result %d is (%d,%d), oracle (%d,%d)\nquery: %v",
+						variantNames[i], j, got[j].GraphID, got[j].Distance, want[j].GraphID, want[j].Distance, qg)
+				}
+			}
+		} else {
+			want, _ := h.oracle.Containment(qg)
+			if len(got) != len(want) {
+				h.tb.Fatalf("difftest: %s: containment result count %d, oracle %d\nquery: %v\ngot:  %v\nwant: %v",
+					variantNames[i], len(got), len(want), qg, got, want)
+			}
+			for j := range want {
+				if got[j].GraphID != want[j] || got[j].Distance != 0 {
+					h.tb.Fatalf("difftest: %s: containment result %d is (%d,%d), oracle id %d\nquery: %v",
+						variantNames[i], j, got[j].GraphID, got[j].Distance, want[j], qg)
+				}
+			}
+		}
+		h.cases++
+	}
+}

@@ -1,0 +1,17 @@
+package difftest
+
+import "testing"
+
+// TestDifferentialQuick is the scaled-down differential suite run on every
+// `go test`. The full ≥1,000-case sweep lives behind `-tags slow`.
+func TestDifferentialQuick(t *testing.T) {
+	cfg := Quick()
+	if testing.Short() {
+		cfg.Databases, cfg.Scripts = 1, 6
+	}
+	cases := Run(t, cfg)
+	if cases == 0 {
+		t.Fatal("quick differential suite checked zero cases")
+	}
+	t.Logf("differential: %d cases checked against the naivescan oracle", cases)
+}

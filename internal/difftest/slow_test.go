@@ -1,0 +1,16 @@
+//go:build slow
+
+package difftest
+
+import "testing"
+
+// TestDifferentialFull is the deep randomized sweep (build tag `slow`): the
+// acceptance bar is ≥ 1,000 oracle-checked cases across cache-on and
+// cache-off variants.
+func TestDifferentialFull(t *testing.T) {
+	cases := Run(t, Full())
+	if cases < 1000 {
+		t.Fatalf("full differential suite checked %d cases, want ≥ 1000", cases)
+	}
+	t.Logf("differential: %d cases checked against the naivescan oracle", cases)
+}

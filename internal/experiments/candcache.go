@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"prague/internal/core"
+	"prague/internal/service"
+	"prague/internal/workload"
+)
+
+// candCacheSessions is the fleet size of the candidate-cache experiment.
+const candCacheSessions = 6
+
+// CandCache demonstrates the shared cross-session candidate cache
+// (internal/candcache): a fleet of concurrent sessions formulating the same
+// verification-heavy containment query runs once against a cache-disabled
+// service and once with the default cache. The cached service records its
+// candcache_* counters into the default metrics registry, so they appear in
+// the -metrics snapshot printed by cmd/experiments.
+func (s *Suite) CandCache() error {
+	if err := s.ensureAIDS(); err != nil {
+		return err
+	}
+	wq, rq, err := s.verificationHeavyQuery()
+	if err != nil {
+		return err
+	}
+	s.header("Shared candidate cache: repeated-fragment session fleet (AIDS-like)")
+	s.printf("query %q: %d edges, %d candidates to verify per cold session, %d concurrent sessions\n",
+		wq.Name, len(wq.Edges), rq, candCacheSessions)
+	s.printf("%-10s %10s %14s %8s %8s %10s %10s\n",
+		"variant", "wall(ms)", "session(ms)", "hits", "misses", "coalesced", "hit-ratio")
+
+	var walls [2]time.Duration
+	for i, v := range []struct {
+		name  string
+		bytes int64
+	}{
+		{"cache-off", 0},
+		{"cache-on", service.DefaultCandCacheBytes},
+	} {
+		svc, err := service.New(s.aidsDB, s.aidsIdx,
+			service.WithSigma(s.cfg.Sigma), service.WithSessionTTL(0),
+			service.WithCandidateCache(v.bytes))
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		if err := runSessionFleet(svc, wq, candCacheSessions); err != nil {
+			svc.Close()
+			return err
+		}
+		walls[i] = time.Since(start)
+		st := svc.CandidateCache().Stats()
+		svc.Close()
+		s.printf("%-10s %10.2f %14.2f %8d %8d %10d %10.3f\n",
+			v.name, ms(walls[i]), ms(walls[i])/candCacheSessions,
+			st.Hits, st.Misses, st.Coalesced, st.HitRatio())
+	}
+	s.printf("speedup: %.2fx (cache-off / cache-on wall time)\n",
+		float64(walls[0])/float64(walls[1]))
+	return nil
+}
+
+// verificationHeavyQuery samples containment queries one edge larger than the
+// mined fragments — never answerable verification-free — and returns the one
+// with the largest candidate set (|Rq| read after formulation only; selection
+// never runs verification).
+func (s *Suite) verificationHeavyQuery() (workload.Query, int, error) {
+	cqs, err := workload.ContainmentQueries(s.aidsDB, 6, []int{aidsMaxFrag + 1}, s.cfg.Seed+3)
+	if err != nil {
+		return workload.Query{}, 0, err
+	}
+	var best workload.Query
+	bestRq := 0
+	for _, wq := range cqs {
+		eng, err := core.New(s.aidsDB, s.aidsIdx, s.cfg.Sigma)
+		if err != nil {
+			return workload.Query{}, 0, err
+		}
+		ids := make([]int, len(wq.NodeLabels))
+		for i, l := range wq.NodeLabels {
+			ids[i] = eng.AddNode(l)
+		}
+		exact := true
+		for _, ed := range wq.Edges {
+			out, err := eng.AddEdge(ids[ed[0]], ids[ed[1]])
+			if err != nil {
+				return workload.Query{}, 0, err
+			}
+			if out.NeedsChoice {
+				eng.ChooseSimilarity()
+				exact = false
+			}
+		}
+		if rq := len(eng.Rq()); exact && rq > bestRq {
+			bestRq, best = rq, wq
+		}
+	}
+	if bestRq == 0 {
+		return workload.Query{}, 0, fmt.Errorf("candcache: no sampled containment query has a non-empty candidate set")
+	}
+	return best, bestRq, nil
+}
+
+// runSessionFleet formulates wq in n concurrent sessions of svc and waits for
+// all of them.
+func runSessionFleet(svc *service.Service, wq workload.Query, n int) error {
+	errc := make(chan error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errc <- driveFleetSession(svc, wq)
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// driveFleetSession formulates wq edge by edge in a fresh session, runs it,
+// and deletes the session.
+func driveFleetSession(svc *service.Service, wq workload.Query) error {
+	ctx := context.Background()
+	ss, err := svc.Create(ctx)
+	if err != nil {
+		return err
+	}
+	ids := make([]int, len(wq.NodeLabels))
+	for i, l := range wq.NodeLabels {
+		if ids[i], err = ss.AddNode(l); err != nil {
+			return err
+		}
+	}
+	for _, ed := range wq.Edges {
+		out, err := ss.AddEdge(ctx, ids[ed[0]], ids[ed[1]])
+		if err != nil {
+			return err
+		}
+		if out.NeedsChoice {
+			if _, err := ss.ChooseSimilarity(ctx); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := ss.Run(ctx); err != nil {
+		return err
+	}
+	return svc.Delete(ss.ID())
+}

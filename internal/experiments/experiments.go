@@ -96,7 +96,7 @@ func Names() []string {
 	return []string{
 		"table2", "fig9a", "fig9be", "fig9fi", "fig9j",
 		"table3", "table4", "fig10a", "fig10be", "table5",
-		"latency",
+		"latency", "candcache",
 		"ablation-sequence", "ablation-freever", "ablation-dif", "ablation-beta",
 	}
 }
@@ -126,6 +126,8 @@ func (s *Suite) Run(name string) error {
 		return s.Table5()
 	case "latency":
 		return s.Latency()
+	case "candcache":
+		return s.CandCache()
 	case "ablation-sequence":
 		return s.AblationSequence()
 	case "ablation-freever":

@@ -177,8 +177,14 @@ func MinDFSCode(g *Graph) []CodeEdge {
 					}
 				}
 			} else {
+				// The edge label must match the chosen tuple, exactly as in
+				// the forward branch: without this check an embedding could
+				// consume a labeled edge to realize an unlabeled backward
+				// tuple, silently corrupting the code (two non-isomorphic
+				// graphs differing only in a cycle-closing edge label would
+				// collide).
 				gv, gw := emb.assign[best.I], emb.assign[best.J]
-				if g.HasEdge(gv, gw) && !emb.used[edgeIdx[normEdge(gv, gw)]] {
+				if g.HasEdge(gv, gw) && !emb.used[edgeIdx[normEdge(gv, gw)]] && labelOf(gv, gw) == best.LE {
 					ne := emb.clone()
 					ne.used[edgeIdx[normEdge(gv, gw)]] = true
 					next = append(next, ne)

@@ -32,6 +32,15 @@ const (
 	CounterVerifyTasks     = "verify_tasks"     // candidate verifications fanned out to the pool
 	CounterVerifyBatches   = "verify_batches"   // verification batches submitted to the pool
 
+	// Candidate-cache counters (see prague/internal/candcache). The last two
+	// are level gauges tracking resident entries and bytes.
+	CounterCandHits      = "candcache_hits"      // lookups served from a resident entry
+	CounterCandMisses    = "candcache_misses"    // lookups that had to compute (singleflight leaders)
+	CounterCandCoalesced = "candcache_coalesced" // waiters served by another session's computation
+	CounterCandEvictions = "candcache_evictions" // entries dropped by the byte-budgeted LRU
+	CounterCandEntries   = "candcache_entries"   // resident entries (gauge-like)
+	CounterCandBytes     = "candcache_bytes"     // resident bytes (gauge-like)
+
 	// Histograms (durations).
 	HistSpigBuild    = "spig_build"   // SPIG construction per formulation step
 	HistStepEval     = "step_eval"    // candidate maintenance per formulation step

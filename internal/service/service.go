@@ -19,6 +19,8 @@ import (
 	"sync"
 	"time"
 
+	"prague/internal/candcache"
+	"prague/internal/clock"
 	"prague/internal/core"
 	"prague/internal/graph"
 	"prague/internal/index"
@@ -37,6 +39,13 @@ var (
 	ErrTooManySessions = errors.New("session limit reached")
 )
 
+// DefaultCandCacheBytes is the default byte budget of the shared
+// cross-session candidate cache. 32 MiB holds roughly a quarter-million
+// average candidate lists of the AIDS-scale datasets — far more distinct
+// fragments than a realistic formulation fleet touches — while staying
+// negligible next to the indexes.
+const DefaultCandCacheBytes = 32 << 20
+
 // Options collects the construction-time knobs; set them via the With*
 // functional options.
 type Options struct {
@@ -44,8 +53,11 @@ type Options struct {
 	VerifyWorkers int
 	SessionTTL    time.Duration
 	MaxSessions   int
+	CandCache     int64
 	Metrics       *metrics.Registry
-	Clock         func() time.Time
+	Clock         clock.Clock
+
+	janitorHook func(evicted int) // test observability for janitor sweeps
 }
 
 // Option configures a Service at construction.
@@ -69,18 +81,31 @@ func WithMaxSessions(n int) Option { return func(o *Options) { o.MaxSessions = n
 // WithMetrics records service metrics into reg instead of metrics.Default.
 func WithMetrics(reg *metrics.Registry) Option { return func(o *Options) { o.Metrics = reg } }
 
-// WithClock overrides the time source (tests).
-func WithClock(now func() time.Time) Option { return func(o *Options) { o.Clock = now } }
+// WithCandidateCache sets the byte budget of the shared cross-session
+// candidate/result cache (default DefaultCandCacheBytes; ≤ 0 disables
+// caching entirely).
+func WithCandidateCache(bytes int64) Option { return func(o *Options) { o.CandCache = bytes } }
+
+// WithClock overrides the time source (tests inject a clock.Fake so
+// TTL/idle-eviction behaviour is deterministic).
+func WithClock(c clock.Clock) Option { return func(o *Options) { o.Clock = c } }
+
+// withJanitorHook registers a callback invoked after every janitor sweep
+// with the number of sessions it evicted (tests).
+func withJanitorHook(fn func(evicted int)) Option {
+	return func(o *Options) { o.janitorHook = fn }
+}
 
 // Service serves concurrent formulation sessions over one immutable
 // database + index pair. All methods are safe for concurrent use.
 type Service struct {
-	db   []*graph.Graph
-	idx  *index.Set
-	opt  Options
-	pool *workpool.Pool
-	reg  *metrics.Registry
-	now  func() time.Time
+	db    []*graph.Graph
+	idx   *index.Set
+	opt   Options
+	pool  *workpool.Pool
+	reg   *metrics.Registry
+	clk   clock.Clock
+	cache *candcache.Cache // shared across sessions; nil when disabled
 
 	mu       sync.Mutex
 	sessions map[string]*Session
@@ -94,7 +119,7 @@ type Service struct {
 // New builds a service over the database and indexes. The database and
 // indexes must not be mutated afterwards; sessions share them.
 func New(db []*graph.Graph, idx *index.Set, opts ...Option) (*Service, error) {
-	opt := Options{Sigma: 3, SessionTTL: 30 * time.Minute}
+	opt := Options{Sigma: 3, SessionTTL: 30 * time.Minute, CandCache: DefaultCandCacheBytes}
 	for _, o := range opts {
 		o(&opt)
 	}
@@ -110,9 +135,9 @@ func New(db []*graph.Graph, idx *index.Set, opts ...Option) (*Service, error) {
 	if reg == nil {
 		reg = metrics.Default
 	}
-	now := opt.Clock
-	if now == nil {
-		now = time.Now
+	clk := opt.Clock
+	if clk == nil {
+		clk = clock.Real{}
 	}
 	s := &Service{
 		db:       db,
@@ -120,7 +145,8 @@ func New(db []*graph.Graph, idx *index.Set, opts ...Option) (*Service, error) {
 		opt:      opt,
 		pool:     workpool.New(opt.VerifyWorkers),
 		reg:      reg,
-		now:      now,
+		clk:      clk,
+		cache:    candcache.New(opt.CandCache, reg),
 		sessions: map[string]*Session{},
 	}
 	s.pool.OnBatch = func(n int) {
@@ -134,7 +160,9 @@ func New(db []*graph.Graph, idx *index.Set, opts ...Option) (*Service, error) {
 		}
 		s.stopJanitor = make(chan struct{})
 		s.janitorDone = make(chan struct{})
-		go s.janitor(interval)
+		// The ticker is created here, not in the goroutine, so a test clock
+		// advanced right after New is guaranteed to reach it.
+		go s.janitor(clk.NewTicker(interval))
 	}
 	return s, nil
 }
@@ -172,6 +200,10 @@ func (s *Service) Close() {
 // Metrics returns the registry the service records into.
 func (s *Service) Metrics() *metrics.Registry { return s.reg }
 
+// CandidateCache returns the shared cross-session candidate cache, or nil
+// when caching is disabled.
+func (s *Service) CandidateCache() *candcache.Cache { return s.cache }
+
 // Snapshot captures the current metrics.
 func (s *Service) Snapshot() metrics.Snapshot { return s.reg.Snapshot() }
 
@@ -196,6 +228,7 @@ func (s *Service) Create(ctx context.Context) (*Session, error) {
 		return nil, fmt.Errorf("service: create: %w", err)
 	}
 	eng.SetPool(s.pool)
+	eng.SetCandidateCache(s.cache)
 
 	s.mu.Lock()
 	if s.closed {
@@ -211,7 +244,7 @@ func (s *Service) Create(ctx context.Context) (*Session, error) {
 		id:       fmt.Sprintf("s%06d", s.nextID),
 		svc:      s,
 		eng:      eng,
-		lastUsed: s.now(),
+		lastUsed: s.clk.Now(),
 	}
 	s.sessions[ss.id] = ss
 	s.mu.Unlock()
@@ -268,7 +301,7 @@ func (s *Service) EvictIdle() int {
 	if ttl <= 0 {
 		return 0
 	}
-	cutoff := s.now().Add(-ttl)
+	cutoff := s.clk.Now().Add(-ttl)
 	s.mu.Lock()
 	var evicted int
 	for id, ss := range s.sessions {
@@ -290,16 +323,18 @@ func (s *Service) EvictIdle() int {
 	return evicted
 }
 
-func (s *Service) janitor(interval time.Duration) {
+func (s *Service) janitor(t clock.Ticker) {
 	defer close(s.janitorDone)
-	t := time.NewTicker(interval)
 	defer t.Stop()
 	for {
 		select {
 		case <-s.stopJanitor:
 			return
-		case <-t.C:
-			s.EvictIdle()
+		case <-t.C():
+			n := s.EvictIdle()
+			if s.opt.janitorHook != nil {
+				s.opt.janitorHook(n)
+			}
 		}
 	}
 }
@@ -327,7 +362,7 @@ func (ss *Session) begin() error {
 		ss.mu.Unlock()
 		return fmt.Errorf("service: session %s: %w", ss.id, ErrSessionNotFound)
 	}
-	ss.lastUsed = ss.svc.now()
+	ss.lastUsed = ss.svc.clk.Now()
 	return nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"prague/internal/clock"
 	"prague/internal/core"
 	"prague/internal/graph"
 	"prague/internal/index"
@@ -300,17 +301,16 @@ func TestRunRefusesWhileAwaitingChoice(t *testing.T) {
 	}
 }
 
+// TestIdleEviction drives the janitor itself through a fake clock: ticks
+// fire only when the test advances time, and the janitor hook reports every
+// sweep, so the test is deterministic under -race with no sleeps.
 func TestIdleEviction(t *testing.T) {
 	db, idx := smallFixture(t)
 	reg := metrics.NewRegistry()
-	clock := time.Now()
-	var clockMu sync.Mutex
-	now := func() time.Time {
-		clockMu.Lock()
-		defer clockMu.Unlock()
-		return clock
-	}
-	svc, err := New(db, idx, WithSigma(1), WithSessionTTL(time.Minute), WithMetrics(reg), WithClock(now))
+	fake := clock.NewFake(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	sweeps := make(chan int, 64)
+	svc, err := New(db, idx, WithSigma(1), WithSessionTTL(time.Minute), WithMetrics(reg),
+		WithClock(fake), withJanitorHook(func(n int) { sweeps <- n }))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -326,16 +326,29 @@ func TestIdleEviction(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Advance the clock past the TTL, touching only the busy session.
-	clockMu.Lock()
-	clock = clock.Add(2 * time.Minute)
-	clockMu.Unlock()
+	// Half a TTL passes; only the busy session is touched. Any janitor sweep
+	// at this instant finds nobody stale.
+	fake.Advance(45 * time.Second)
 	if _, err := busy.AddNode("C"); err != nil {
 		t.Fatal(err)
 	}
 
-	if n := svc.EvictIdle(); n != 1 {
-		t.Fatalf("evicted %d sessions, want 1", n)
+	// Now 90s have passed for the idle session (past the 60s TTL) and 45s
+	// for the busy one (within it). Every sweep from here on evicts exactly
+	// the idle session, once.
+	fake.Advance(45 * time.Second)
+	deadline := time.After(10 * time.Second)
+	evicted := 0
+	for evicted < 1 {
+		select {
+		case n := <-sweeps:
+			evicted += n
+		case <-deadline:
+			t.Fatal("janitor never evicted the idle session")
+		}
+	}
+	if evicted != 1 {
+		t.Fatalf("janitor evicted %d sessions, want 1", evicted)
 	}
 	if _, err := svc.Get(idle.ID()); !errors.Is(err, ErrSessionNotFound) {
 		t.Fatalf("idle session still resolvable: %v", err)
@@ -351,6 +364,31 @@ func TestIdleEviction(t *testing.T) {
 	}
 }
 
+// TestEvictIdleDirect covers EvictIdle's TTL guard: with eviction disabled
+// (TTL ≤ 0, no janitor), an explicit call is a no-op however stale the
+// sessions are.
+func TestEvictIdleDirect(t *testing.T) {
+	db, idx := smallFixture(t)
+	fake := clock.NewFake(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	// TTL 0 disables the janitor goroutine entirely; EvictIdle then reports
+	// 0 regardless of idleness.
+	svc, err := New(db, idx, WithSigma(1), WithSessionTTL(0), WithMetrics(metrics.NewRegistry()), WithClock(fake))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if _, err := svc.Create(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	fake.Advance(24 * time.Hour)
+	if n := svc.EvictIdle(); n != 0 {
+		t.Fatalf("EvictIdle with TTL disabled evicted %d, want 0", n)
+	}
+	if svc.Len() != 1 {
+		t.Fatalf("session count = %d, want 1", svc.Len())
+	}
+}
+
 // TestRunCancellationMidVerification is the acceptance test for context
 // plumbing: on a large synthetic database, cancelling RunCtx while the
 // verification fan-out is in flight must return promptly with a wrapped
@@ -361,7 +399,10 @@ func TestRunCancellationMidVerification(t *testing.T) {
 		t.Skip("large fixture")
 	}
 	db, idx := buildFixture(t, 16_000, 23, 0.3, 6)
-	svc, err := New(db, idx, WithSigma(4), WithVerifyWorkers(4), WithMetrics(metrics.NewRegistry()), WithSessionTTL(0))
+	// Caching is disabled: a second session's run must hit live verification
+	// for there to be anything to cancel (a cached run finishes instantly).
+	svc, err := New(db, idx, WithSigma(4), WithVerifyWorkers(4), WithMetrics(metrics.NewRegistry()),
+		WithSessionTTL(0), WithCandidateCache(0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -448,5 +489,112 @@ func TestRunCancellationMidVerification(t *testing.T) {
 	// The session remains usable after an aborted Run.
 	if _, err := ss.Run(context.Background()); err != nil {
 		t.Fatalf("run after cancellation: %v", err)
+	}
+}
+
+// TestCandidateCacheSharedAcrossSessions: a second session formulating the
+// same query is served from the cache entries the first one published, with
+// identical results and visible candcache_* metrics.
+func TestCandidateCacheSharedAcrossSessions(t *testing.T) {
+	db, idx := smallFixture(t)
+	reg := metrics.NewRegistry()
+	svc, err := New(db, idx, WithSigma(2), WithMetrics(reg), WithSessionTTL(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if svc.CandidateCache() == nil {
+		t.Fatal("cache not created by default")
+	}
+	ctx := context.Background()
+
+	// Rare labels keep the query fragment out of the frequent index (a
+	// frequent target is answered verification-free, bypassing the cache).
+	formulateAndQuery := func() []core.Result {
+		t.Helper()
+		ss, err := svc.Create(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, _ := ss.AddNode("S")
+		b, _ := ss.AddNode("O")
+		cc, _ := ss.AddNode("N")
+		for _, e := range [][2]int{{a, b}, {b, cc}} {
+			out, err := ss.AddEdge(ctx, e[0], e[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.NeedsChoice {
+				if _, err := ss.ChooseSimilarity(ctx); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		res, err := ss.Run(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	first := formulateAndQuery()
+	afterFirst := svc.CandidateCache().Stats()
+	if afterFirst.Misses == 0 {
+		t.Fatal("first session never reached the cache")
+	}
+	second := formulateAndQuery()
+	afterSecond := svc.CandidateCache().Stats()
+
+	if len(first) != len(second) {
+		t.Fatalf("result sizes differ across sessions: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("result %d differs: %+v vs %+v", i, first[i], second[i])
+		}
+	}
+	if afterSecond.Hits+afterSecond.Coalesced <= afterFirst.Hits+afterFirst.Coalesced {
+		t.Fatalf("second identical session produced no cache reuse: %+v -> %+v", afterFirst, afterSecond)
+	}
+	snap := reg.Snapshot().Counters
+	for _, name := range []string{metrics.CounterCandHits, metrics.CounterCandMisses, metrics.CounterCandEntries, metrics.CounterCandBytes} {
+		if _, ok := snap[name]; !ok {
+			t.Fatalf("counter %s missing from the registry snapshot", name)
+		}
+	}
+	if svc.CandidateCache().SizeBytes() != afterSecond.Bytes {
+		t.Fatalf("bytes gauge %d != SizeBytes %d", afterSecond.Bytes, svc.CandidateCache().SizeBytes())
+	}
+}
+
+// TestCandidateCacheDisabled: WithCandidateCache(0) turns the cache off and
+// sessions still answer correctly (nil-cache paths).
+func TestCandidateCacheDisabled(t *testing.T) {
+	db, idx := smallFixture(t)
+	svc, err := New(db, idx, WithSigma(1), WithMetrics(metrics.NewRegistry()), WithSessionTTL(0), WithCandidateCache(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if svc.CandidateCache() != nil {
+		t.Fatal("cache present despite WithCandidateCache(0)")
+	}
+	ss, err := svc.Create(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := ss.AddNode("C")
+	b, _ := ss.AddNode("N")
+	out, err := ss.AddEdge(context.Background(), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NeedsChoice {
+		if _, err := ss.ChooseSimilarity(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ss.Run(context.Background()); err != nil {
+		t.Fatal(err)
 	}
 }

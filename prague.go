@@ -306,6 +306,14 @@ func WithMaxSessions(n int) Option { return service.WithMaxSessions(n) }
 // DefaultMetrics.
 func WithMetrics(reg *Metrics) Option { return service.WithMetrics(reg) }
 
+// WithCandidateCache sets the byte budget of the service's shared
+// cross-session candidate/result cache: candidate sets and verified
+// containment sets are stored under the fragment's canonical code and reused
+// by every session, with singleflight deduplication of concurrent misses.
+// The default is 32 MiB; ≤ 0 disables caching. Hit/miss/coalesced/eviction
+// counters appear in the service's metrics snapshot as candcache_*.
+func WithCandidateCache(bytes int64) Option { return service.WithCandidateCache(bytes) }
+
 // NewService builds a concurrent session service over the database and
 // indexes. The database and indexes must not be mutated afterwards. Close
 // the service when done; it owns background goroutines.
