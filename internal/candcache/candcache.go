@@ -32,6 +32,7 @@ import (
 
 	"prague/internal/intset"
 	"prague/internal/metrics"
+	"prague/internal/trace"
 )
 
 // numShards spreads keys over independently locked LRUs so concurrent
@@ -166,6 +167,12 @@ func (c *Cache) Do(ctx context.Context, key string, compute func(ctx context.Con
 	if c == nil {
 		return compute(ctx)
 	}
+	// Traced sessions see every cache interaction as a cand_fetch span whose
+	// single outcome count (hit / miss / coalesced) mirrors the counters;
+	// the leader's compute runs under the span, so verification work nests
+	// beneath the fetch that triggered it.
+	sp := trace.SpanFromContext(ctx).Child(trace.KindCandFetch)
+	sp.SetAttr("key", key)
 	sh := c.shard(key)
 	waited := false
 	for {
@@ -175,9 +182,12 @@ func (c *Cache) Do(ctx context.Context, key string, compute func(ctx context.Con
 			sh.mu.Unlock()
 			if waited {
 				c.coalesced.Inc()
+				sp.Add("coalesced", 1)
 			} else {
 				c.hits.Inc()
+				sp.Add("hit", 1)
 			}
+			sp.End()
 			return e.ids, nil
 		}
 		if f, ok := sh.flights[key]; ok {
@@ -187,6 +197,8 @@ func (c *Cache) Do(ctx context.Context, key string, compute func(ctx context.Con
 				waited = true
 				continue
 			case <-ctx.Done():
+				sp.Add("wait_cancelled", 1)
+				sp.End()
 				return nil, ctx.Err()
 			}
 		}
@@ -195,7 +207,8 @@ func (c *Cache) Do(ctx context.Context, key string, compute func(ctx context.Con
 		sh.mu.Unlock()
 
 		c.misses.Inc()
-		ids, err := compute(ctx)
+		sp.Add("miss", 1)
+		ids, err := compute(trace.ContextWithSpan(ctx, sp))
 
 		sh.mu.Lock()
 		delete(sh.flights, key)
@@ -204,6 +217,7 @@ func (c *Cache) Do(ctx context.Context, key string, compute func(ctx context.Con
 		}
 		sh.mu.Unlock()
 		close(f.done)
+		sp.End()
 		return ids, err
 	}
 }

@@ -2,10 +2,12 @@ package core
 
 import (
 	"context"
+	"time"
 
 	"prague/internal/index"
 	"prague/internal/intset"
 	"prague/internal/spig"
+	"prague/internal/trace"
 )
 
 // exactSubCandidates implements Algorithm 3 (ExactSubCandidates): the FSG
@@ -25,7 +27,7 @@ import (
 // them (Rq verification in Run, Rver in SimilarResultsGen), so a list
 // published by a session with a differently-inherited Φ/Υ never changes
 // final answers.
-func (e *Engine) exactSubCandidates(v *spig.Vertex) []int {
+func (e *Engine) exactSubCandidates(ctx context.Context, v *spig.Vertex) []int {
 	if v == nil {
 		return nil
 	}
@@ -34,12 +36,15 @@ func (e *Engine) exactSubCandidates(v *spig.Vertex) []int {
 	}
 	var ids []int
 	if e.cache == nil || v.Kind == index.KindFrequent || v.Kind == index.KindDIF {
-		ids = e.computeCandidates(v)
+		ids = e.computeCandidates(ctx, v)
 	} else {
-		// Candidate intersection is pure and never polls cancellation, so a
-		// background context is correct here.
-		ids, _ = e.cache.Do(context.Background(), candKeyPrefix+v.Code,
-			func(context.Context) ([]int, error) { return e.computeCandidates(v), nil })
+		// Candidate intersection is pure and never polls cancellation, so
+		// the cache call runs on a background context — cancelling mid-Do
+		// would memoize a bogus empty list. Only the trace span crosses
+		// over, so cache hits and misses still land in the action's tree.
+		cctx := trace.ContextWithSpan(context.Background(), trace.SpanFromContext(ctx))
+		ids, _ = e.cache.Do(cctx, candKeyPrefix+v.Code,
+			func(ctx context.Context) ([]int, error) { return e.computeCandidates(ctx, v), nil })
 	}
 	if e.candMemo == nil {
 		e.candMemo = map[*spig.Vertex][]int{}
@@ -48,7 +53,13 @@ func (e *Engine) exactSubCandidates(v *spig.Vertex) []int {
 	return ids
 }
 
-func (e *Engine) computeCandidates(v *spig.Vertex) []int {
+func (e *Engine) computeCandidates(ctx context.Context, v *spig.Vertex) []int {
+	if sp := trace.SpanFromContext(ctx); sp != nil {
+		t0 := time.Now()
+		defer func() {
+			sp.Record(trace.KindIndexProbe, time.Since(t0), "lists", int64(len(v.Phi)+len(v.Ups)+1))
+		}()
+	}
 	switch v.Kind {
 	case index.KindFrequent:
 		return e.idx.A2F.FSGIds(v.FreqID)
@@ -118,7 +129,7 @@ func (e *Engine) similarSubCandidates(ctx context.Context) (rfree, rver levelSet
 		}
 		var free, ver []int
 		for _, v := range e.spigs.LevelVertices(i) {
-			ids := e.exactSubCandidates(v)
+			ids := e.exactSubCandidates(ctx, v)
 			if v.Kind == index.KindFrequent || v.Kind == index.KindDIF {
 				free = intset.Union(free, ids)
 			} else {

@@ -16,6 +16,7 @@ import (
 	"prague/internal/intset"
 	"prague/internal/query"
 	"prague/internal/spig"
+	"prague/internal/trace"
 	"prague/internal/workpool"
 )
 
@@ -172,14 +173,19 @@ func (e *Engine) AddLabeledEdgeCtx(ctx context.Context, u, v int, label string) 
 		return StepOutcome{}, err
 	}
 	t0 := time.Now()
-	if _, err := e.spigs.Construct(e.q, step); err != nil {
-		return StepOutcome{}, err
+	sctx, ssp := trace.StartChild(ctx, trace.KindSpigBuild)
+	_, cerr := e.spigs.ConstructCtx(sctx, e.q, step)
+	ssp.End()
+	if cerr != nil {
+		return StepOutcome{}, cerr
 	}
 	spigTime := time.Since(t0)
 	e.stats.SpigConstruction = append(e.stats.SpigConstruction, spigTime)
 
 	t1 := time.Now()
-	out, err := e.refresh(ctx)
+	ectx, esp := trace.StartChild(ctx, trace.KindStepEval)
+	out, err := e.refresh(ectx)
+	esp.End()
 	if err != nil {
 		return StepOutcome{}, fmt.Errorf("core: add edge: %w", err)
 	}
@@ -221,7 +227,7 @@ func (e *Engine) refresh(ctx context.Context) (StepOutcome, error) {
 	}
 	if !e.simFlag {
 		target := e.spigs.Target(e.q)
-		e.rq = e.exactSubCandidates(target)
+		e.rq = e.exactSubCandidates(ctx, target)
 		if len(e.rq) > 0 {
 			e.pending = false
 			status := StatusInfrequent
@@ -325,13 +331,17 @@ func (e *Engine) RunCtx(ctx context.Context) ([]Result, error) {
 		// choice — a post-Run AwaitingChoice report must not be stale.
 		e.simFlag = true
 		e.pending = false
+		dctx, dsp := trace.StartChild(ctx, trace.KindDegrade)
 		var err error
-		e.rfree, e.rver, err = e.similarSubCandidates(ctx)
+		e.rfree, e.rver, err = e.similarSubCandidates(dctx)
+		dsp.End()
 		if err != nil {
 			return nil, fmt.Errorf("core: run: %w", err)
 		}
 	}
-	results, err := e.similarResultsGen(ctx, qg)
+	gctx, gsp := trace.StartChild(ctx, trace.KindSimilarEval)
+	results, err := e.similarResultsGen(gctx, qg)
+	gsp.End()
 	if err != nil {
 		return results, fmt.Errorf("core: run: %w", err)
 	}

@@ -38,7 +38,7 @@ func (e *Engine) SuggestDeletion() (Suggestion, error) {
 		if v == nil {
 			continue // cannot happen for a well-formed SPIG set
 		}
-		if n := len(e.exactSubCandidates(v)); n > best.Candidates {
+		if n := len(e.exactSubCandidates(context.Background(), v)); n > best.Candidates {
 			best = Suggestion{Step: s, Candidates: n}
 		}
 	}

@@ -32,7 +32,7 @@ func (e *Engine) similarResultsGen(ctx context.Context, qg *graph.Graph) ([]Resu
 	// same query share one pass.
 	var ctxErr error
 	if target := e.spigs.Target(e.q); target != nil {
-		exact, err := e.exactContainment(ctx, target.Code, qg, e.exactSubCandidates(target))
+		exact, err := e.exactContainment(ctx, target.Code, qg, e.exactSubCandidates(ctx, target))
 		for _, id := range exact {
 			assigned[id] = 0
 		}
@@ -111,7 +111,7 @@ func (e *Engine) verifyLevelCached(ctx context.Context, i int, pending []int) ([
 		if v.Kind == index.KindFrequent || v.Kind == index.KindDIF {
 			continue
 		}
-		ids, err := e.exactContainment(ctx, v.Code, v.Frag, e.exactSubCandidates(v))
+		ids, err := e.exactContainment(ctx, v.Code, v.Frag, e.exactSubCandidates(ctx, v))
 		confirmed = intset.Union(confirmed, intset.Intersect(pending, ids))
 		if err != nil {
 			return confirmed, err

@@ -96,7 +96,7 @@ func Names() []string {
 	return []string{
 		"table2", "fig9a", "fig9be", "fig9fi", "fig9j",
 		"table3", "table4", "fig10a", "fig10be", "table5",
-		"latency", "candcache",
+		"latency", "candcache", "trace",
 		"ablation-sequence", "ablation-freever", "ablation-dif", "ablation-beta",
 	}
 }
@@ -128,6 +128,8 @@ func (s *Suite) Run(name string) error {
 		return s.Latency()
 	case "candcache":
 		return s.CandCache()
+	case "trace":
+		return s.Trace()
 	case "ablation-sequence":
 		return s.AblationSequence()
 	case "ablation-freever":

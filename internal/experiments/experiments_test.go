@@ -48,7 +48,7 @@ func TestNamesStable(t *testing.T) {
 	// RunAll (exercised by TestSuiteSmoke) iterates Names(), so every name
 	// is known to dispatch; here we only pin the published list.
 	names := Names()
-	if len(names) != 16 {
+	if len(names) != 17 {
 		t.Errorf("experiment list changed: %v", names)
 	}
 	seen := map[string]bool{}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"context"
+	"prague/internal/service"
+	"prague/internal/trace"
+	"prague/internal/workload"
+)
+
+// Trace replays the AIDS-like similarity workload (Q1-Q4) through a
+// tracing-enabled service and prints the aggregate SRT breakdown: every
+// formulation step and Run records a span tree, each session's trees are
+// folded into a RunReport, and the merged report shows phase by phase where
+// the blended engine spent its time across the whole workload — the
+// observability counterpart of the paper's Table 3/SRT story.
+func (s *Suite) Trace() error {
+	if err := s.ensureAIDSQueries(); err != nil {
+		return err
+	}
+	svc, err := service.New(s.aidsDB, s.aidsIdx,
+		service.WithSigma(s.cfg.Sigma), service.WithSessionTTL(0),
+		service.WithTracing(true), service.WithSlowThreshold(0))
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+
+	s.header("Trace: aggregate SRT breakdown over the replayed AIDS-like workload")
+	var reports []trace.RunReport
+	for _, wq := range sortedCopy(s.aidsQueries) {
+		rep, err := traceSession(svc, wq)
+		if err != nil {
+			return err
+		}
+		s.printf("%s: SRT %.2fms across %d spans (%d candidates checked, %d kept)\n",
+			wq.Name, ms(rep.Duration), rep.Spans, rep.CandidatesChecked, rep.CandidatesKept)
+		reports = append(reports, rep)
+	}
+
+	agg := trace.MergeReports(reports...)
+	s.printf("\n%s", agg.Render())
+
+	if slow := svc.SlowSpans(); len(slow) > 0 {
+		s.printf("\nslow journal (slowest recorded actions):\n")
+		for i, sp := range slow {
+			if i == 5 {
+				s.printf("  ... and %d more\n", len(slow)-5)
+				break
+			}
+			s.printf("  %-14s %10.2fms  %d spans\n",
+				sp.Kind, float64(sp.DurUS)/1000, sp.NumSpans())
+		}
+	}
+	return nil
+}
+
+// traceSession formulates wq in a fresh traced session, runs it, and returns
+// the session's last-run SRT breakdown.
+func traceSession(svc *service.Service, wq workload.Query) (trace.RunReport, error) {
+	ctx := context.Background()
+	ss, err := svc.Create(ctx)
+	if err != nil {
+		return trace.RunReport{}, err
+	}
+	defer svc.Delete(ss.ID()) //nolint:errcheck // best-effort cleanup
+	ids := make([]int, len(wq.NodeLabels))
+	for i, l := range wq.NodeLabels {
+		if ids[i], err = ss.AddNode(l); err != nil {
+			return trace.RunReport{}, err
+		}
+	}
+	for _, ed := range wq.Edges {
+		out, err := ss.AddEdge(ctx, ids[ed[0]], ids[ed[1]])
+		if err != nil {
+			return trace.RunReport{}, err
+		}
+		if out.NeedsChoice {
+			if _, err := ss.ChooseSimilarity(ctx); err != nil {
+				return trace.RunReport{}, err
+			}
+		}
+	}
+	if _, err := ss.Run(ctx); err != nil {
+		return trace.RunReport{}, err
+	}
+	return ss.TraceReport()
+}

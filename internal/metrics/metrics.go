@@ -41,11 +41,22 @@ const (
 	CounterCandEntries   = "candcache_entries"   // resident entries (gauge-like)
 	CounterCandBytes     = "candcache_bytes"     // resident bytes (gauge-like)
 
+	// Tracing self-observability (see prague/internal/trace). The journal
+	// length is a level gauge; the other two count events.
+	CounterTraceDropped        = "trace_dropped_spans"     // spans discarded by per-tree caps
+	CounterTraceJournalEvicted = "trace_journal_evictions" // slow-journal trees displaced by slower ones
+	CounterTraceJournalLen     = "trace_journal_len"       // resident slow-journal trees (gauge-like)
+
 	// Histograms (durations).
 	HistSpigBuild    = "spig_build"   // SPIG construction per formulation step
 	HistStepEval     = "step_eval"    // candidate maintenance per formulation step
 	HistSRT          = "srt"          // system response time (work after Run)
 	HistModification = "modification" // query-modification handling time
+
+	// HistPhasePrefix prefixes the per-phase histograms fed by trace spans:
+	// one histogram per span kind (phase_spig_build, phase_verify_batch, ...)
+	// with no bookkeeping besides the spans themselves.
+	HistPhasePrefix = "phase_"
 )
 
 // Counter is an atomic event counter. Negative deltas are allowed so a
@@ -126,11 +137,19 @@ func bucketLabel(i int) string {
 }
 
 func (h *Histogram) snapshot() HistogramSnapshot {
+	// Every field is loaded atomically, and the observation count used for
+	// quantile estimation is derived from the bucket loads themselves rather
+	// than the separate count field: Observe updates buckets before count,
+	// so a count loaded independently could exceed the bucket sum captured
+	// here and push the quantile rank past the captured distribution. The
+	// derived n keeps each snapshot internally consistent even while
+	// concurrent Observes land between the loads.
 	var counts [numBounds + 1]int64
+	var n int64
 	for i := range counts {
 		counts[i] = h.buckets[i].Load()
+		n += counts[i]
 	}
-	n := h.count.Load()
 	s := HistogramSnapshot{
 		Count: n,
 		SumMS: float64(h.sumNS.Load()) / 1e6,

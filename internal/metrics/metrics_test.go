@@ -3,6 +3,10 @@ package metrics
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
+	"io"
+	"math"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -100,4 +104,91 @@ func TestSnapshotJSONRoundTrip(t *testing.T) {
 	if back.Histograms[HistSRT].Count != 1 {
 		t.Fatalf("histograms after round trip: %v", back.Histograms)
 	}
+}
+
+// failWriter fails after n bytes, exercising WriteJSON's write-error path.
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if len(p) > w.n {
+		return w.n, errors.New("disk full")
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+func TestWriteJSONErrorPaths(t *testing.T) {
+	// Marshal failure: JSON cannot encode NaN. A histogram can't produce one,
+	// but the snapshot type is exported and WriteJSON must wrap the error
+	// rather than panic or write partial output.
+	bad := Snapshot{
+		Counters:   map[string]int64{"x": 1},
+		Histograms: map[string]HistogramSnapshot{"h": {Count: 1, MeanMS: math.NaN()}},
+	}
+	var buf bytes.Buffer
+	err := bad.WriteJSON(&buf)
+	if err == nil {
+		t.Fatal("marshaling NaN must fail")
+	}
+	if !strings.Contains(err.Error(), "metrics: marshal snapshot") {
+		t.Fatalf("marshal error not wrapped: %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("partial output written on marshal failure: %q", buf.String())
+	}
+
+	// Writer failure propagates.
+	r := NewRegistry()
+	r.Counter(CounterRuns).Inc()
+	if err := r.Snapshot().WriteJSON(&failWriter{n: 10}); err == nil {
+		t.Fatal("failing writer must surface its error")
+	}
+}
+
+// TestSnapshotDuringLoad hammers Snapshot while Observe runs concurrently:
+// under -race this catches unsynchronized reads, and the consistency checks
+// catch torn snapshots where the quantile rank (derived from a separately
+// loaded count) exceeds the captured bucket distribution.
+func TestSnapshotDuringLoad(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram(HistSRT)
+	c := r.Counter(CounterRuns)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			d := time.Duration(seed+1) * 50 * time.Microsecond
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.Observe(d)
+				c.Inc()
+			}
+		}(w)
+	}
+	deadline := time.Now().Add(200 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		s := r.Snapshot()
+		hs := s.Histograms[HistSRT]
+		var bucketSum int64
+		for _, n := range hs.Buckets {
+			bucketSum += n
+		}
+		if hs.Count != bucketSum {
+			t.Fatalf("torn snapshot: count %d != bucket sum %d", hs.Count, bucketSum)
+		}
+		if hs.Count > 0 && (hs.P95MS < 0 || math.IsNaN(hs.P95MS) || math.IsInf(hs.P95MS, 0)) {
+			t.Fatalf("quantile escaped the captured distribution: p95=%v count=%d", hs.P95MS, hs.Count)
+		}
+		if err := s.WriteJSON(io.Discard); err != nil {
+			t.Fatalf("snapshot not marshalable under load: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
 }

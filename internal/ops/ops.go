@@ -1,0 +1,99 @@
+// Package ops is the opt-in live operations/debug surface of a PRAGUE
+// service: a small HTTP server exposing liveness (/healthz), a JSON
+// snapshot of the metrics registry (/metrics), the tracing subsystem's
+// slow-action journal (/trace/slow), and the standard net/http/pprof
+// profiling endpoints (/debug/pprof/...). It binds only when a service is
+// constructed with the ops-server option; nothing in the hot path depends
+// on it.
+package ops
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"prague/internal/metrics"
+	"prague/internal/trace"
+)
+
+// Server is a running ops endpoint. Create with New, stop with Close.
+type Server struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// New binds addr (host:port; ":0" picks a free port) and starts serving.
+// reg provides /metrics; tr provides /trace/slow (nil serves an empty
+// journal); healthy gates /healthz (nil means always healthy, non-nil
+// errors render 503).
+func New(addr string, reg *metrics.Registry, tr *trace.Tracer, healthy func() error) (*Server, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if healthy != nil {
+			if err := healthy(); err != nil {
+				http.Error(w, fmt.Sprintf("unhealthy: %v", err), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := reg.Snapshot().WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/trace/slow", func(w http.ResponseWriter, r *http.Request) {
+		spans := tr.SlowSpans()
+		if n, err := strconv.Atoi(r.URL.Query().Get("n")); err == nil && n >= 0 && n < len(spans) {
+			spans = spans[:n]
+		}
+		if spans == nil {
+			spans = []*trace.SpanData{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(spans); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ops: listen %s: %w", addr, err)
+	}
+	s := &Server{srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}, ln: ln}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close shuts the server down, waiting briefly for in-flight requests.
+// Nil-safe and idempotent.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return s.srv.Shutdown(ctx)
+}

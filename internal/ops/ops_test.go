@@ -1,0 +1,148 @@
+package ops
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"prague/internal/metrics"
+	"prague/internal/trace"
+)
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, body
+}
+
+func TestOpsEndpoints(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("runs_executed").Add(3)
+	tr := trace.New(trace.Options{Enabled: true, Registry: reg})
+
+	// Record one finished action so /trace/slow has content.
+	_, sp := tr.StartRoot(context.Background(), trace.KindRun)
+	sp.Child(trace.KindStepEval).End()
+	sp.End()
+
+	var healthErr error
+	s, err := New("127.0.0.1:0", reg, tr, func() error { return healthErr })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+
+	code, body := get(t, base+"/healthz")
+	if code != http.StatusOK || string(body) != "ok\n" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	healthErr = errors.New("draining")
+	code, body = get(t, base+"/healthz")
+	if code != http.StatusServiceUnavailable || string(body) != "unhealthy: draining\n" {
+		t.Fatalf("unhealthy /healthz = %d %q", code, body)
+	}
+	healthErr = nil
+
+	code, body = get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	var snap metrics.Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("/metrics is not a snapshot: %v\n%s", err, body)
+	}
+	if snap.Counters["runs_executed"] != 3 {
+		t.Fatalf("snapshot counters = %v", snap.Counters)
+	}
+	if h, ok := snap.Histograms[metrics.HistPhasePrefix+"run"]; !ok || h.Count != 1 {
+		t.Fatalf("phase_run histogram missing from /metrics: %v", snap.Histograms)
+	}
+
+	code, body = get(t, base+"/trace/slow")
+	if code != http.StatusOK {
+		t.Fatalf("/trace/slow = %d", code)
+	}
+	var spans []*trace.SpanData
+	if err := json.Unmarshal(body, &spans); err != nil {
+		t.Fatalf("/trace/slow is not a span list: %v\n%s", err, body)
+	}
+	if len(spans) != 1 || spans[0].Kind != "run" || len(spans[0].Children) != 1 {
+		t.Fatalf("/trace/slow spans = %+v", spans)
+	}
+
+	code, body = get(t, base+"/trace/slow?n=0")
+	if code != http.StatusOK || string(body) != "[]\n" {
+		t.Fatalf("/trace/slow?n=0 = %d %q", code, body)
+	}
+
+	code, _ = get(t, base+"/debug/pprof/cmdline")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline = %d", code)
+	}
+}
+
+func TestOpsEmptyJournalAndNilSafety(t *testing.T) {
+	s, err := New("127.0.0.1:0", metrics.NewRegistry(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+
+	code, body := get(t, base+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("nil health fn /healthz = %d", code)
+	}
+	code, body = get(t, base+"/trace/slow")
+	if code != http.StatusOK || string(body) != "[]\n" {
+		t.Fatalf("nil tracer /trace/slow = %d %q", code, body)
+	}
+
+	var nilServer *Server
+	if nilServer.Addr() != "" {
+		t.Fatal("nil server Addr must be empty")
+	}
+	if err := nilServer.Close(); err != nil {
+		t.Fatalf("nil server Close = %v", err)
+	}
+}
+
+func TestOpsListenFailure(t *testing.T) {
+	s, err := New("127.0.0.1:0", metrics.NewRegistry(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := New(s.Addr(), metrics.NewRegistry(), nil, nil); err == nil {
+		t.Fatal("binding an in-use address must fail")
+	}
+}
+
+func TestOpsCloseStopsServing(t *testing.T) {
+	s, err := New("127.0.0.1:0", metrics.NewRegistry(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := s.Addr()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	client := http.Client{Timeout: 500 * time.Millisecond}
+	if _, err := client.Get(fmt.Sprintf("http://%s/healthz", addr)); err == nil {
+		t.Fatal("server still serving after Close")
+	}
+}

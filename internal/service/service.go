@@ -25,6 +25,8 @@ import (
 	"prague/internal/graph"
 	"prague/internal/index"
 	"prague/internal/metrics"
+	"prague/internal/ops"
+	"prague/internal/trace"
 	"prague/internal/workpool"
 )
 
@@ -37,6 +39,9 @@ var (
 	ErrServiceClosed = errors.New("service closed")
 	// ErrTooManySessions: the configured session limit is reached.
 	ErrTooManySessions = errors.New("session limit reached")
+	// ErrNoTrace: a trace report was requested but tracing is disabled or
+	// the session has no traced Run yet.
+	ErrNoTrace = errors.New("no traced run")
 )
 
 // DefaultCandCacheBytes is the default byte budget of the shared
@@ -56,6 +61,11 @@ type Options struct {
 	CandCache     int64
 	Metrics       *metrics.Registry
 	Clock         clock.Clock
+
+	Trace         bool          // record per-action span trees
+	SlowThreshold time.Duration // slow-journal admission threshold
+	SlowJournal   int           // slow-journal capacity (0: trace default)
+	OpsAddr       string        // ops/debug HTTP listen address ("" disables)
 
 	janitorHook func(evicted int) // test observability for janitor sweeps
 }
@@ -90,6 +100,31 @@ func WithCandidateCache(bytes int64) Option { return func(o *Options) { o.CandCa
 // TTL/idle-eviction behaviour is deterministic).
 func WithClock(c clock.Clock) Option { return func(o *Options) { o.Clock = c } }
 
+// WithTracing enables (or disables) per-action structured tracing: every
+// AddEdge/DeleteEdge/Run records a span tree of its evaluation phases, SRT
+// breakdown reports become available per session, and phase_* histograms
+// feed the metrics registry. Disabled tracing costs one atomic nil-check
+// per action (default: disabled).
+func WithTracing(on bool) Option { return func(o *Options) { o.Trace = on } }
+
+// WithSlowThreshold admits only traced actions at least this slow into the
+// bounded slow-action journal (0, the default, journals every traced
+// action). Implies WithTracing(true).
+func WithSlowThreshold(d time.Duration) Option {
+	return func(o *Options) { o.Trace = true; o.SlowThreshold = d }
+}
+
+// WithSlowJournalSize bounds the slow-action journal to the n slowest span
+// trees (default trace.DefaultJournalSize). Implies WithTracing(true).
+func WithSlowJournalSize(n int) Option {
+	return func(o *Options) { o.Trace = true; o.SlowJournal = n }
+}
+
+// WithOpsServer serves the live ops/debug surface on addr (host:port;
+// ":0" picks a free port — read it back with OpsAddr): /healthz, /metrics,
+// /trace/slow, and /debug/pprof. The server stops with Close.
+func WithOpsServer(addr string) Option { return func(o *Options) { o.OpsAddr = addr } }
+
 // withJanitorHook registers a callback invoked after every janitor sweep
 // with the number of sessions it evicted (tests).
 func withJanitorHook(fn func(evicted int)) Option {
@@ -99,13 +134,15 @@ func withJanitorHook(fn func(evicted int)) Option {
 // Service serves concurrent formulation sessions over one immutable
 // database + index pair. All methods are safe for concurrent use.
 type Service struct {
-	db    []*graph.Graph
-	idx   *index.Set
-	opt   Options
-	pool  *workpool.Pool
-	reg   *metrics.Registry
-	clk   clock.Clock
-	cache *candcache.Cache // shared across sessions; nil when disabled
+	db     []*graph.Graph
+	idx    *index.Set
+	opt    Options
+	pool   *workpool.Pool
+	reg    *metrics.Registry
+	clk    clock.Clock
+	cache  *candcache.Cache // shared across sessions; nil when disabled
+	tracer *trace.Tracer    // nil when tracing was never requested
+	ops    *ops.Server      // nil unless WithOpsServer
 
 	mu       sync.Mutex
 	sessions map[string]*Session
@@ -148,6 +185,29 @@ func New(db []*graph.Graph, idx *index.Set, opts ...Option) (*Service, error) {
 		clk:      clk,
 		cache:    candcache.New(opt.CandCache, reg),
 		sessions: map[string]*Session{},
+	}
+	if opt.Trace {
+		s.tracer = trace.New(trace.Options{
+			Enabled:       true,
+			SlowThreshold: opt.SlowThreshold,
+			JournalSize:   opt.SlowJournal,
+			Registry:      reg,
+		})
+	}
+	if opt.OpsAddr != "" {
+		srv, err := ops.New(opt.OpsAddr, reg, s.tracer, func() error {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			if s.closed {
+				return ErrServiceClosed
+			}
+			return nil
+		})
+		if err != nil {
+			s.pool.Close()
+			return nil, fmt.Errorf("service: %w", err)
+		}
+		s.ops = srv
 	}
 	s.pool.OnBatch = func(n int) {
 		reg.Counter(metrics.CounterVerifyTasks).Add(int64(n))
@@ -195,10 +255,23 @@ func (s *Service) Close() {
 		<-s.janitorDone
 	}
 	s.pool.Close()
+	s.ops.Close() //nolint:errcheck // shutdown timeout only
 }
 
 // Metrics returns the registry the service records into.
 func (s *Service) Metrics() *metrics.Registry { return s.reg }
+
+// Tracer returns the service's tracer, or nil when tracing was never
+// requested (trace.Tracer methods are nil-safe).
+func (s *Service) Tracer() *trace.Tracer { return s.tracer }
+
+// SlowSpans returns the slow-action journal: the full span trees of the
+// slowest traced actions, slowest first. Empty without tracing.
+func (s *Service) SlowSpans() []*trace.SpanData { return s.tracer.SlowSpans() }
+
+// OpsAddr returns the bound address of the ops/debug server, or "" when
+// WithOpsServer was not used.
+func (s *Service) OpsAddr() string { return s.ops.Addr() }
 
 // CandidateCache returns the shared cross-session candidate cache, or nil
 // when caching is disabled.
@@ -350,6 +423,7 @@ type Session struct {
 	eng      *core.Engine
 	lastUsed time.Time
 	gone     bool
+	lastRun  *trace.SpanData // finished span tree of the latest traced Run
 }
 
 // ID returns the service-unique session identifier.
@@ -387,10 +461,17 @@ func (ss *Session) AddLabeledEdge(ctx context.Context, u, v int, label string) (
 		return core.StepOutcome{}, err
 	}
 	defer ss.mu.Unlock()
-	out, err := ss.eng.AddLabeledEdgeCtx(ctx, u, v, label)
+	tctx, sp := ss.svc.tracer.StartRoot(ctx, trace.KindAddEdge)
+	sp.SetAttr("session", ss.id)
+	out, err := ss.eng.AddLabeledEdgeCtx(tctx, u, v, label)
 	if err != nil {
+		sp.SetAttr("error", err.Error())
+		sp.End()
 		return core.StepOutcome{}, err
 	}
+	sp.SetAttr("status", out.Status.String())
+	sp.Add("step", int64(out.Step))
+	sp.End()
 	ss.observeStep(out)
 	return out, nil
 }
@@ -402,7 +483,11 @@ func (ss *Session) ChooseSimilarity(ctx context.Context) (core.StepOutcome, erro
 		return core.StepOutcome{}, err
 	}
 	defer ss.mu.Unlock()
-	return ss.eng.ChooseSimilarityCtx(ctx)
+	tctx, sp := ss.svc.tracer.StartRoot(ctx, trace.KindChooseSim)
+	sp.SetAttr("session", ss.id)
+	out, err := ss.eng.ChooseSimilarityCtx(tctx)
+	sp.End()
+	return out, err
 }
 
 // DeleteEdge removes the edge drawn at the given step.
@@ -411,7 +496,11 @@ func (ss *Session) DeleteEdge(ctx context.Context, step int) (core.StepOutcome, 
 		return core.StepOutcome{}, err
 	}
 	defer ss.mu.Unlock()
-	out, err := ss.eng.DeleteEdgeCtx(ctx, step)
+	tctx, sp := ss.svc.tracer.StartRoot(ctx, trace.KindDeleteEdge)
+	sp.SetAttr("session", ss.id)
+	sp.Add("step", int64(step))
+	out, err := ss.eng.DeleteEdgeCtx(tctx, step)
+	sp.End()
 	if err != nil {
 		return core.StepOutcome{}, err
 	}
@@ -445,13 +534,51 @@ func (ss *Session) Run(ctx context.Context) ([]core.Result, error) {
 	if ss.eng.AwaitingChoice() {
 		return nil, fmt.Errorf("service: session %s: run: %w", ss.id, core.ErrAwaitingChoice)
 	}
-	results, err := ss.eng.RunCtx(ctx)
+	tctx, sp := ss.svc.tracer.StartRoot(ctx, trace.KindRun)
+	sp.SetAttr("session", ss.id)
+	results, err := ss.eng.RunCtx(tctx)
+	sp.Add("results", int64(len(results)))
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+	}
+	sp.End()
+	if d := sp.Data(); d != nil {
+		ss.lastRun = d
+	}
 	if err != nil {
 		return results, err
 	}
 	ss.svc.reg.Counter(metrics.CounterRuns).Inc()
 	ss.svc.reg.Histogram(metrics.HistSRT).Observe(ss.eng.Stats().RunTime)
 	return results, nil
+}
+
+// TraceReport returns the SRT breakdown of the session's most recent traced
+// Run: per-phase durations, candidates verified vs. pruned, and candidate-
+// cache effectiveness. It fails with ErrNoTrace until a Run has executed
+// with tracing enabled (WithTracing).
+func (ss *Session) TraceReport() (trace.RunReport, error) {
+	if err := ss.begin(); err != nil {
+		return trace.RunReport{}, err
+	}
+	defer ss.mu.Unlock()
+	if ss.lastRun == nil {
+		return trace.RunReport{}, fmt.Errorf("service: session %s: %w (enable WithTracing and Run first)", ss.id, ErrNoTrace)
+	}
+	return trace.BuildReport(ss.lastRun), nil
+}
+
+// LastRunTrace returns the raw span tree of the most recent traced Run, or
+// ErrNoTrace. The tree is finished and must not be mutated.
+func (ss *Session) LastRunTrace() (*trace.SpanData, error) {
+	if err := ss.begin(); err != nil {
+		return nil, err
+	}
+	defer ss.mu.Unlock()
+	if ss.lastRun == nil {
+		return nil, fmt.Errorf("service: session %s: %w (enable WithTracing and Run first)", ss.id, ErrNoTrace)
+	}
+	return ss.lastRun, nil
 }
 
 // Explain reports how one data graph matches the current query.

@@ -20,15 +20,18 @@
 package spig
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"prague/internal/graph"
 	"prague/internal/index"
 	"prague/internal/intset"
 	"prague/internal/query"
+	"prague/internal/trace"
 )
 
 // Vertex is one SPIG vertex: an isomorphism class of connected query
@@ -153,6 +156,16 @@ func repKey(steps []int) string {
 // Fragment List from the action-aware indexes or by inheritance from the
 // SPIG set, and adds it to S.
 func (S *Set) Construct(q *query.Query, ell int) (*SPIG, error) {
+	return S.ConstructCtx(context.Background(), q, ell)
+}
+
+// ConstructCtx is Construct with tracing: when ctx carries a span, the
+// aggregate time spent computing canonical codes and classifying vertices
+// against the indexes is attached as canonical_code / index_probe child
+// spans (one per call, not per vertex — SPIG levels visit hundreds of
+// subsets). The construction itself is unaffected by ctx.
+func (S *Set) ConstructCtx(ctx context.Context, q *query.Query, ell int) (*SPIG, error) {
+	sp := trace.SpanFromContext(ctx)
 	if _, ok := q.Edge(ell); !ok {
 		return nil, fmt.Errorf("spig: query has no edge with step %d", ell)
 	}
@@ -192,6 +205,8 @@ func (S *Set) Construct(q *query.Query, ell int) (*SPIG, error) {
 	}
 
 	// Level-by-level growth of connected step subsets containing eℓ.
+	var canonDur, probeDur time.Duration
+	var canonN, probeN int64
 	subsets := [][]int{{ell}}
 	for k := 1; k <= n; k++ {
 		// Group this level's subsets into isomorphism classes.
@@ -201,7 +216,15 @@ func (S *Set) Construct(q *query.Query, ell int) (*SPIG, error) {
 				// Cannot happen: subsets grow by edge adjacency.
 				return nil, fmt.Errorf("spig: internal: disconnected subset %v", steps)
 			}
+			var t0 time.Time
+			if sp != nil {
+				t0 = time.Now()
+			}
 			code := graph.CanonicalCode(frag)
+			if sp != nil {
+				canonDur += time.Since(t0)
+				canonN++
+			}
 			v := s.byCode[k][code]
 			if v == nil {
 				v = &Vertex{
@@ -214,8 +237,16 @@ func (S *Set) Construct(q *query.Query, ell int) (*SPIG, error) {
 			v.Reps = append(v.Reps, intset.Clone(steps))
 		}
 		// Fragment lists for the finished level (parents at k-1 are final).
+		var t1 time.Time
+		if sp != nil {
+			t1 = time.Now()
+		}
 		for _, v := range s.levels[k] {
 			S.classify(q, s, v)
+		}
+		if sp != nil {
+			probeDur += time.Since(t1)
+			probeN += int64(len(s.levels[k]))
 		}
 		if k == n {
 			break
@@ -241,6 +272,10 @@ func (S *Set) Construct(q *query.Query, ell int) (*SPIG, error) {
 		subsets = next
 	}
 
+	if sp != nil {
+		sp.Record(trace.KindCanonical, canonDur, "codes", canonN)
+		sp.Record(trace.KindIndexProbe, probeDur, "vertices", probeN)
+	}
 	S.spigs[ell] = s
 	S.order = append(S.order, ell)
 	sort.Ints(S.order)

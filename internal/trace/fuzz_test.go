@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzTraceSpanEncode checks that every SpanData tree survives a JSON
+// round-trip intact — the /trace/slow endpoint and any external consumer
+// depend on the encoding being lossless. The tree is built deterministically
+// from the fuzz input: each byte drives one construction step (attach an
+// attribute, bump a counter, descend into a child, pop back up), so coverage
+// grows over tree shapes rather than over raw JSON bytes.
+func FuzzTraceSpanEncode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{3, 3, 3, 7, 7, 1, 9, 2, 8, 0, 5, 4, 6})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		root := buildFuzzTree(data)
+		b, err := json.Marshal(root)
+		if err != nil {
+			t.Fatalf("marshal: %v (tree %+v)", err, root)
+		}
+		var back SpanData
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("unmarshal: %v (json %s)", err, b)
+		}
+		if !reflect.DeepEqual(*root, back) {
+			t.Fatalf("round-trip mismatch:\n  in:  %+v\n  out: %+v\n  json: %s", *root, back, b)
+		}
+	})
+}
+
+// buildFuzzTree deterministically derives a SpanData tree from data. Keys
+// and values are drawn from a fixed safe alphabet (JSON coerces invalid
+// UTF-8, which would be an encoding artifact, not a tracing bug), maps stay
+// nil until first use (matching how spans build them), and depth/width are
+// bounded so the fuzzer explores shape, not allocation limits.
+func buildFuzzTree(data []byte) *SpanData {
+	words := []string{"spig", "canon", "probe", "fetch", "verify", "kept", "hit", "miss"}
+	root := &SpanData{Kind: "run"}
+	cur := root
+	stack := []*SpanData{}
+	for i, b := range data {
+		w := words[int(b)%len(words)]
+		switch b % 5 {
+		case 0: // attribute
+			if cur.Attrs == nil {
+				cur.Attrs = map[string]string{}
+			}
+			cur.Attrs[w] = words[(int(b)/5)%len(words)]
+		case 1: // counter
+			if cur.Counts == nil {
+				cur.Counts = map[string]int64{}
+			}
+			cur.Counts[w] += int64(b) - 128
+		case 2: // timing / dropped fields
+			cur.StartUS = int64(b) * 37
+			cur.DurUS = int64(i) * 11
+			cur.Dropped = int64(b % 3)
+		case 3: // descend into a new child
+			if len(stack) < 6 && len(cur.Children) < 8 {
+				child := &SpanData{Kind: words[int(b)%len(words)]}
+				cur.Children = append(cur.Children, child)
+				stack = append(stack, cur)
+				cur = child
+			}
+		case 4: // pop back up
+			if len(stack) > 0 {
+				cur = stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return root
+}

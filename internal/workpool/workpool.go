@@ -13,6 +13,9 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"time"
+
+	"prague/internal/trace"
 )
 
 // Pool runs submitted closures on a fixed set of persistent workers.
@@ -79,8 +82,18 @@ func (p *Pool) Filter(ctx context.Context, ids []int, pred func(id int) bool) ([
 	if p != nil && p.OnBatch != nil {
 		p.OnBatch(len(ids))
 	}
+	// Traced callers get one verify_batch span per fan-out (candidate and
+	// kept counts, accumulated queue wait) with a per-candidate
+	// verify_candidate child for each check — the per-edge visibility into
+	// where VF2 time goes. batch is nil on untraced calls and every
+	// instrument below no-ops.
+	batch := trace.SpanFromContext(ctx).Child(trace.KindVerifyBatch)
+	batch.Add("candidates", int64(len(ids)))
 	if p == nil || p.workers <= 1 || len(ids) < 2 {
-		return filterInline(ctx, ids, pred)
+		out, err := filterInline(ctx, ids, pred, batch)
+		batch.Add("kept", int64(len(out)))
+		batch.End()
+		return out, err
 	}
 
 	keep := make([]bool, len(ids))
@@ -94,12 +107,21 @@ submit:
 		}
 		i := i
 		wg.Add(1)
+		submitted := time.Now()
 		task := func() {
 			defer wg.Done()
 			if ctx.Err() != nil {
 				return
 			}
+			if batch != nil {
+				batch.Add("queue_wait_us", time.Since(submitted).Microseconds())
+			}
+			c := batch.Child(trace.KindVerifyCand)
 			keep[i] = pred(ids[i])
+			if keep[i] {
+				c.Add("kept", 1)
+			}
+			c.End()
 		}
 		select {
 		case p.tasks <- task:
@@ -119,6 +141,8 @@ submit:
 			out = append(out, ids[i])
 		}
 	}
+	batch.Add("kept", int64(len(out)))
+	batch.End()
 	return out, err
 }
 
@@ -130,7 +154,7 @@ func FilterN(ctx context.Context, ids []int, workers int, pred func(id int) bool
 		return nil, ctx.Err()
 	}
 	if workers <= 1 || len(ids) < 2*workers {
-		return filterInline(ctx, ids, pred)
+		return filterInline(ctx, ids, pred, nil)
 	}
 	keep := make([]bool, len(ids))
 	next := make(chan int)
@@ -171,15 +195,19 @@ feed:
 	return out, err
 }
 
-func filterInline(ctx context.Context, ids []int, pred func(id int) bool) ([]int, error) {
+func filterInline(ctx context.Context, ids []int, pred func(id int) bool, batch *trace.Span) ([]int, error) {
 	var out []int
 	for _, id := range ids {
 		if err := ctx.Err(); err != nil {
 			return out, err
 		}
-		if pred(id) {
+		c := batch.Child(trace.KindVerifyCand)
+		kept := pred(id)
+		if kept {
 			out = append(out, id)
+			c.Add("kept", 1)
 		}
+		c.End()
 	}
 	return out, nil
 }

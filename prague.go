@@ -55,6 +55,7 @@ import (
 	"prague/internal/mining"
 	"prague/internal/patterns"
 	"prague/internal/service"
+	"prague/internal/trace"
 )
 
 // Sentinel errors. Test with errors.Is; every returned error that matches
@@ -77,6 +78,9 @@ var (
 	ErrServiceClosed = service.ErrServiceClosed
 	// ErrTooManySessions: the WithMaxSessions limit is reached.
 	ErrTooManySessions = service.ErrTooManySessions
+	// ErrNoTrace: a trace report was requested but tracing is disabled or no
+	// Run has been traced yet.
+	ErrNoTrace = service.ErrNoTrace
 )
 
 // Graph is a connected, undirected, node-labeled graph — the data model for
@@ -313,6 +317,44 @@ func WithMetrics(reg *Metrics) Option { return service.WithMetrics(reg) }
 // The default is 32 MiB; ≤ 0 disables caching. Hit/miss/coalesced/eviction
 // counters appear in the service's metrics snapshot as candcache_*.
 func WithCandidateCache(bytes int64) Option { return service.WithCandidateCache(bytes) }
+
+// WithTracing enables per-action structured tracing: every AddEdge,
+// DeleteEdge, and Run records a span tree of its evaluation phases (SPIG
+// construction, canonical codes, index probes, cache fetches, workpool
+// verification, similarity degradation). Each ManagedSession then serves an
+// SRT breakdown via TraceReport, the service keeps a bounded journal of the
+// slowest actions (SlowSpans), and phase_* histograms feed the metrics
+// registry. Disabled tracing (the default) costs one atomic nil-check per
+// action.
+func WithTracing(on bool) Option { return service.WithTracing(on) }
+
+// WithSlowThreshold admits only traced actions at least this slow into the
+// slow-action journal (0 journals every traced action). Implies
+// WithTracing(true).
+func WithSlowThreshold(d time.Duration) Option { return service.WithSlowThreshold(d) }
+
+// WithSlowJournalSize keeps the n slowest traced span trees (default 32).
+// Implies WithTracing(true).
+func WithSlowJournalSize(n int) Option { return service.WithSlowJournalSize(n) }
+
+// WithOpsServer serves the live ops/debug surface on addr (host:port; ":0"
+// picks a free port, readable via Service.OpsAddr): GET /healthz, /metrics
+// (JSON snapshot of the registry), /trace/slow (slow-action span trees),
+// and /debug/pprof. The server stops with Service.Close.
+func WithOpsServer(addr string) Option { return service.WithOpsServer(addr) }
+
+// TraceReport is the per-Run SRT breakdown assembled from a traced span
+// tree: phase durations, candidates verified vs. pruned, and candidate-
+// cache effectiveness. Returned by ManagedSession.TraceReport; Render
+// formats it as an aligned table.
+type TraceReport = trace.RunReport
+
+// TracePhase aggregates the spans of one evaluation phase in a TraceReport.
+type TracePhase = trace.PhaseStat
+
+// TraceSpan is one node of a recorded span tree (JSON-serializable; what
+// the ops server's /trace/slow returns).
+type TraceSpan = trace.SpanData
 
 // NewService builds a concurrent session service over the database and
 // indexes. The database and indexes must not be mutated afterwards. Close
