@@ -45,13 +45,9 @@ import (
 	"strconv"
 	"strings"
 
-	"sort"
-	"time"
-
 	"prague/internal/core"
 	"prague/internal/graph"
 	"prague/internal/index"
-	"prague/internal/metrics"
 	"prague/internal/mining"
 
 	prague "prague"
@@ -249,12 +245,10 @@ func main() {
 				fmt.Printf("  graph %d  distance %d\n", r.GraphID, r.Distance)
 			}
 		case "metrics":
-			snap := svc.Snapshot()
-			if err := snap.WriteJSON(os.Stdout); err != nil {
+			if err := renderMetrics(os.Stdout, svc.Snapshot()); err != nil {
 				fmt.Println("error:", err)
 				continue
 			}
-			printPhaseBreakdown(snap)
 		case "trace":
 			rep, err := ss.TraceReport()
 			if err != nil {
@@ -265,52 +259,12 @@ func main() {
 				}
 				continue
 			}
-			fmt.Print(rep.Render())
-			printSlowJournal(svc)
+			renderTrace(os.Stdout, rep, svc.SlowSpans())
 		case "quit", "exit":
 			return
 		default:
 			fmt.Printf("unknown command %q (try 'help')\n", fields[0])
 		}
-	}
-}
-
-// printPhaseBreakdown renders the phase_* histograms (fed by trace spans)
-// as a compact table after the raw JSON snapshot.
-func printPhaseBreakdown(snap prague.MetricsSnapshot) {
-	var names []string
-	for name := range snap.Histograms {
-		if strings.HasPrefix(name, metrics.HistPhasePrefix) {
-			names = append(names, name)
-		}
-	}
-	if len(names) == 0 {
-		return
-	}
-	sort.Strings(names)
-	fmt.Println("\nphase breakdown (from trace spans):")
-	fmt.Printf("  %-26s %8s %12s %10s %10s\n", "phase", "count", "total(ms)", "p95(ms)", "max(ms)")
-	for _, name := range names {
-		h := snap.Histograms[name]
-		fmt.Printf("  %-26s %8d %12.3f %10.3f %10.3f\n",
-			strings.TrimPrefix(name, metrics.HistPhasePrefix), h.Count, h.SumMS, h.P95MS, h.MaxMS)
-	}
-}
-
-// printSlowJournal summarizes the slowest recorded actions.
-func printSlowJournal(svc *prague.Service) {
-	spans := svc.SlowSpans()
-	if len(spans) == 0 {
-		return
-	}
-	fmt.Println("slowest actions (slow journal):")
-	for i, sp := range spans {
-		if i == 10 {
-			fmt.Printf("  ... and %d more\n", len(spans)-10)
-			break
-		}
-		fmt.Printf("  %-18s %10v  %d spans\n",
-			sp.Kind, (time.Duration(sp.DurUS) * time.Microsecond).Round(time.Microsecond), sp.NumSpans())
 	}
 }
 

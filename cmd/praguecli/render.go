@@ -1,0 +1,72 @@
+// Renderers for the inspection commands (`metrics`, `trace`). They write to
+// an io.Writer rather than stdout so the golden-file tests can check the
+// exact shape a user sees at the prompt.
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"prague/internal/metrics"
+	"prague/internal/trace"
+
+	prague "prague"
+)
+
+// renderMetrics writes the raw JSON metrics snapshot followed by the
+// per-phase latency table fed by trace spans.
+func renderMetrics(w io.Writer, snap prague.MetricsSnapshot) error {
+	if err := snap.WriteJSON(w); err != nil {
+		return err
+	}
+	renderPhaseBreakdown(w, snap)
+	return nil
+}
+
+// renderPhaseBreakdown renders the phase_* histograms (fed by trace spans)
+// as a compact table after the raw JSON snapshot.
+func renderPhaseBreakdown(w io.Writer, snap prague.MetricsSnapshot) {
+	var names []string
+	for name := range snap.Histograms {
+		if strings.HasPrefix(name, metrics.HistPhasePrefix) {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return
+	}
+	sort.Strings(names)
+	fmt.Fprintln(w, "\nphase breakdown (from trace spans):")
+	fmt.Fprintf(w, "  %-26s %8s %12s %10s %10s\n", "phase", "count", "total(ms)", "p95(ms)", "max(ms)")
+	for _, name := range names {
+		h := snap.Histograms[name]
+		fmt.Fprintf(w, "  %-26s %8d %12.3f %10.3f %10.3f\n",
+			strings.TrimPrefix(name, metrics.HistPhasePrefix), h.Count, h.SumMS, h.P95MS, h.MaxMS)
+	}
+}
+
+// renderTrace writes the SRT breakdown of the last run and the slowest
+// recorded actions (the slow journal).
+func renderTrace(w io.Writer, rep prague.TraceReport, spans []*trace.SpanData) {
+	fmt.Fprint(w, rep.Render())
+	renderSlowJournal(w, spans)
+}
+
+// renderSlowJournal summarizes the slowest recorded actions.
+func renderSlowJournal(w io.Writer, spans []*trace.SpanData) {
+	if len(spans) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "slowest actions (slow journal):")
+	for i, sp := range spans {
+		if i == 10 {
+			fmt.Fprintf(w, "  ... and %d more\n", len(spans)-10)
+			break
+		}
+		fmt.Fprintf(w, "  %-18s %10v  %d spans\n",
+			sp.Kind, (time.Duration(sp.DurUS) * time.Microsecond).Round(time.Microsecond), sp.NumSpans())
+	}
+}

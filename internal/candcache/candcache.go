@@ -30,6 +30,7 @@ import (
 	"hash/maphash"
 	"sync"
 
+	"prague/internal/faultinject"
 	"prague/internal/intset"
 	"prague/internal/metrics"
 	"prague/internal/trace"
@@ -166,6 +167,16 @@ func (c *Cache) Put(key string, ids []int) {
 func (c *Cache) Do(ctx context.Context, key string, compute func(ctx context.Context) ([]int, error)) ([]int, error) {
 	if c == nil {
 		return compute(ctx)
+	}
+	if err := faultinject.Hit(ctx, faultinject.SiteCache); err != nil {
+		// The cache is "unavailable" for this lookup: compute inline and
+		// publish nothing, exactly like running without a cache. The bypass
+		// is visible in traces so chaos runs can assert it happened.
+		sp := trace.SpanFromContext(ctx).Child(trace.KindCandFetch)
+		sp.SetAttr("key", key)
+		sp.Add("fault_bypass", 1)
+		defer sp.End()
+		return compute(trace.ContextWithSpan(ctx, sp))
 	}
 	// Traced sessions see every cache interaction as a cand_fetch span whose
 	// single outcome count (hit / miss / coalesced) mirrors the counters;

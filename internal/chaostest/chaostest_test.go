@@ -1,0 +1,34 @@
+package chaostest
+
+import "testing"
+
+// TestChaosQuick is the acceptance gate: 50 seeded fault schedules, each a
+// multi-session scripted workload under injected verification errors,
+// panics, latency, cache/index faults, tight deadlines, and overload bursts.
+// Zero invariant violations are tolerated, and the chaos must demonstrably
+// bite — a suite whose faults never fire proves nothing.
+func TestChaosQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite mines two fixtures; skipped in -short")
+	}
+	tot := Run(t, Quick())
+	if t.Failed() {
+		return
+	}
+	t.Logf("chaos totals: %+v", tot)
+	if tot.Runs == 0 {
+		t.Fatal("chaos suite checked zero runs")
+	}
+	if tot.FaultsFired == 0 {
+		t.Fatal("no injected fault ever fired — the schedules are not reaching the instrumented sites")
+	}
+	if tot.Degraded == 0 {
+		t.Error("no run ever degraded below StageFull — the ladder was never exercised")
+	}
+	if tot.WorkerPanics == 0 {
+		t.Error("no verification panic was recovered — the panic schedules are not reaching the pool")
+	}
+	if tot.Shed == 0 {
+		t.Error("admission control never shed — the overload schedules are not colliding")
+	}
+}

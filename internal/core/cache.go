@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 
 	"prague/internal/candcache"
 	"prague/internal/graph"
@@ -34,9 +35,19 @@ func (e *Engine) SetCandidateCache(c *candcache.Cache) { e.cache = c }
 // partial prefix plus ctx.Err() and publishes nothing.
 func (e *Engine) exactContainment(ctx context.Context, code string, frag *graph.Graph, cands []int) ([]int, error) {
 	verify := func(ctx context.Context) ([]int, error) {
-		return e.filter(ctx, cands, func(id int) bool {
+		before := e.runFaults.Load()
+		out, err := e.filter(ctx, cands, e.verifyPred(ctx, func(id int) bool {
 			return graph.SubgraphIsomorphic(frag, e.db[id])
-		})
+		}))
+		if err == nil {
+			// Faulted checks (injected errors, recovered panics) dropped
+			// candidates: surface a typed error so the set is treated as a
+			// subset — and, below, so cache.Do never publishes it.
+			if n := e.runFaults.Load() - before; n > 0 {
+				err = fmt.Errorf("core: %d candidate checks faulted: %w", n, ErrVerifyFaults)
+			}
+		}
+		return out, err
 	}
 	if e.cache == nil {
 		return verify(ctx)

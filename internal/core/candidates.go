@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"prague/internal/faultinject"
 	"prague/internal/index"
 	"prague/internal/intset"
 	"prague/internal/spig"
@@ -34,15 +35,30 @@ func (e *Engine) exactSubCandidates(ctx context.Context, v *spig.Vertex) []int {
 	if ids, ok := e.candMemo[v]; ok {
 		return ids
 	}
+	if v.Kind != index.KindFrequent && v.Kind != index.KindDIF {
+		// The fault hook covers only NIF probes: their candidate lists are
+		// always verified downstream, so degrading a faulted probe to the
+		// no-information candidate set (every data graph) costs work, never
+		// answers. Indexed vertices are exempt on purpose — their FSG lists
+		// feed verification-free answering, where a fallback would not be
+		// sound. The fallback is neither memoized nor published, so recovery
+		// is immediate once the probes heal.
+		if err := faultinject.Hit(ctx, faultinject.SiteIndex); err != nil {
+			trace.SpanFromContext(ctx).Add("index_fault_fallback", 1)
+			return e.allIds()
+		}
+	}
 	var ids []int
 	if e.cache == nil || v.Kind == index.KindFrequent || v.Kind == index.KindDIF {
 		ids = e.computeCandidates(ctx, v)
 	} else {
 		// Candidate intersection is pure and never polls cancellation, so
 		// the cache call runs on a background context — cancelling mid-Do
-		// would memoize a bogus empty list. Only the trace span crosses
-		// over, so cache hits and misses still land in the action's tree.
+		// would memoize a bogus empty list. The trace span and the fault
+		// injector cross over, so cache hits/misses still land in the
+		// action's tree and cache faults still fire under chaos schedules.
 		cctx := trace.ContextWithSpan(context.Background(), trace.SpanFromContext(ctx))
+		cctx = faultinject.With(cctx, faultinject.FromContext(ctx))
 		ids, _ = e.cache.Do(cctx, candKeyPrefix+v.Code,
 			func(ctx context.Context) ([]int, error) { return e.computeCandidates(ctx, v), nil })
 	}

@@ -8,6 +8,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"prague/internal/candcache"
@@ -90,6 +91,19 @@ type Engine struct {
 	pool          *workpool.Pool         // shared verification pool (service-injected), or nil
 	cache         *candcache.Cache       // shared cross-session candidate cache, or nil
 	stats         SessionStats
+
+	// Degradation ladder state (ladder.go). runFaults counts candidate
+	// checks dropped by injected errors or recovered panics during the
+	// current Run; it is atomic because the drops happen on pool workers.
+	runBudget time.Duration
+	runFaults atomic.Int64
+	lastGood  []Result // results of the session's last fault-free Run
+
+	// stale marks candidate state that no longer reflects the query: the
+	// last refresh was cancelled mid-recompute, so rq/rfree/rver belong to
+	// an older query revision (or are empty). Run must recompute before
+	// answering — serving stale sets would be silently incomplete.
+	stale bool
 }
 
 // levelSets maps SPIG level -> sorted candidate id set.
@@ -218,8 +232,15 @@ func (e *Engine) ChooseSimilarityCtx(ctx context.Context) (StepOutcome, error) {
 
 // refresh recomputes candidate state after the query or mode changed.
 // Cancellation is checked between SPIG levels; with a background context it
-// never errors.
+// never errors. A cancelled refresh leaves the candidate sets marked stale,
+// and the next evaluated action (or Run itself) recomputes them.
 func (e *Engine) refresh(ctx context.Context) (StepOutcome, error) {
+	out, err := e.refreshInner(ctx)
+	e.stale = err != nil
+	return out, err
+}
+
+func (e *Engine) refreshInner(ctx context.Context) (StepOutcome, error) {
 	if e.q.Size() == 0 {
 		e.rq = nil
 		e.rfree, e.rver = nil, nil
@@ -286,17 +307,30 @@ func (e *Engine) Run() ([]Result, error) {
 // ctx.Err(). When containment search yields no verified exact result, the
 // session transparently degrades to similarity search (Algorithm 1 lines
 // 19-21) and — unlike earlier revisions — records that transition, so
-// SimilarityMode/AwaitingChoice stay consistent after Run returns.
+// SimilarityMode/AwaitingChoice stay consistent after Run returns. With a
+// run budget configured (SetRunBudget) the degradation ladder applies; use
+// RunDetailedCtx to observe the stage and the Truncated flag.
 func (e *Engine) RunCtx(ctx context.Context) ([]Result, error) {
-	if e.q.Size() == 0 {
-		return nil, fmt.Errorf("core: run: %w", ErrEmptyQuery)
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("core: run: %w", err)
-	}
-	t0 := time.Now()
-	defer func() { e.stats.RunTime = time.Since(t0) }()
+	out, err := e.RunDetailedCtx(ctx)
+	return out.Results, err
+}
 
+// evaluate is the evaluation body shared by the ladder: exact containment
+// (with verification-free answering for frequent fragments), falling back to
+// similarity search when no exact result exists. It runs under the ladder's
+// budget context; RunDetailedCtx interprets its partial results and error.
+func (e *Engine) evaluate(ctx context.Context) ([]Result, error) {
+	if e.stale {
+		// A cancelled formulation refresh left rq/rfree/rver for an older
+		// query revision. Recompute before answering; on a second failure
+		// drop the sets entirely so the ladder cannot serve bounds that are
+		// unsound for the current query (last-known-good remains available,
+		// and is flagged as such).
+		if _, err := e.refresh(ctx); err != nil {
+			e.rq, e.rfree, e.rver = nil, nil, nil
+			return nil, fmt.Errorf("core: run: recompute stale candidates: %w", err)
+		}
+	}
 	qg, _ := e.q.Graph()
 	if !e.simFlag {
 		var results []Result
@@ -336,6 +370,9 @@ func (e *Engine) RunCtx(ctx context.Context) ([]Result, error) {
 		e.rfree, e.rver, err = e.similarSubCandidates(dctx)
 		dsp.End()
 		if err != nil {
+			// The mode flipped but the similarity candidates were never
+			// fully computed; the next Run must not trust them.
+			e.stale = true
 			return nil, fmt.Errorf("core: run: %w", err)
 		}
 	}

@@ -15,4 +15,12 @@ var (
 	ErrGraphNotFound = errors.New("graph not found")
 	// ErrNegativeSigma: the subgraph distance threshold must be ≥ 0.
 	ErrNegativeSigma = errors.New("negative subgraph distance threshold")
+	// ErrVerifyFaults: some candidate checks faulted (injected errors or
+	// recovered panics), so the verified set is a subset of the truth. The
+	// ladder converts it into a Truncated outcome; it also keeps the shared
+	// cache from publishing the incomplete set.
+	ErrVerifyFaults = errors.New("verification faults dropped candidates")
+	// ErrBudgetExhausted: the per-Run evaluation budget expired with nothing
+	// to serve on any rung of the degradation ladder.
+	ErrBudgetExhausted = errors.New("run budget exhausted")
 )

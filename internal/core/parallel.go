@@ -29,10 +29,22 @@ func (e *Engine) SetVerifyWorkers(n int) {
 
 // filter runs pred over ids on the shared pool when one is injected, else
 // on the deprecated per-call worker path. Both poll ctx between candidates
-// and return the partial result with ctx.Err() on cancellation.
+// and return the partial result with ctx.Err() on cancellation. Recovered
+// predicate panics fail only their own candidate; each one is accounted as a
+// run fault so the outcome is flagged Truncated.
 func (e *Engine) filter(ctx context.Context, ids []int, pred func(id int) bool) ([]int, error) {
+	var (
+		out []int
+		st  workpool.Stats
+		err error
+	)
 	if e.pool != nil {
-		return e.pool.Filter(ctx, ids, pred)
+		out, st, err = e.pool.FilterStats(ctx, ids, pred)
+	} else {
+		out, st, err = workpool.FilterNStats(ctx, ids, e.verifyWorkers, pred)
 	}
-	return workpool.FilterN(ctx, ids, e.verifyWorkers, pred)
+	if st.Panics > 0 {
+		e.runFaults.Add(int64(st.Panics))
+	}
+	return out, err
 }

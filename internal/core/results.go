@@ -58,9 +58,9 @@ func (e *Engine) similarResultsGen(ctx context.Context, qg *graph.Graph) ([]Resu
 			confirmed, err = e.verifyLevelCached(ctx, i, pending)
 		} else {
 			frags := e.levelFragments(i)
-			confirmed, err = e.filter(ctx, pending, func(id int) bool {
+			confirmed, err = e.filter(ctx, pending, e.verifyPred(ctx, func(id int) bool {
 				return containsAnyFragment(frags, e.db[id])
-			})
+			}))
 		}
 		for _, id := range confirmed {
 			assigned[id] = dist

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+)
+
+// TestRunHealsStaleCandidates: a formulation action cancelled mid-refresh
+// (action deadline, user cancel) leaves the candidate sets stale — possibly
+// empty, possibly describing an older query revision. Run must recompute
+// them instead of serving the stale state as a full answer; before the heal
+// existed, a cancelled mode switch made the next Run report zero results at
+// StageFull, which is silently wrong.
+func TestRunHealsStaleCandidates(t *testing.T) {
+	fx := makeFixture(t, 18, 30, 0.3)
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	e, err := New(fx.db, fx.idx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := randomQuerySpec(rand.New(rand.NewSource(4)), []string{"C", "N", "O"}, 4)
+	formulateCtx(t, context.Background(), e, spec)
+
+	// Cancelled mode switch: simFlag flips but rfree/rver are never computed.
+	if _, err := e.ChooseSimilarityCtx(cancelled); err == nil {
+		t.Fatal("cancelled mode switch unexpectedly succeeded")
+	}
+	if !e.stale {
+		t.Fatal("cancelled refresh did not mark the candidate state stale")
+	}
+	out, err := e.RunDetailedCtx(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	qg, _ := e.Query().Graph()
+	truth := oracle(fx.db, qg, e.Sigma())
+	if out.Stage != StageFull || out.Truncated || len(out.Results) != len(truth) {
+		t.Fatalf("healed run not exact: %+v, oracle has %d", out, len(truth))
+	}
+	assertSoundSubset(t, out.Results, truth)
+
+	// Cancelled delete: the query shrank, so its answer set can only grow —
+	// the stale sets describe the old, larger query and would hide answers.
+	var victim int
+	for _, s := range e.Query().Steps() {
+		if e.Query().CanDelete(s) {
+			victim = s
+			break
+		}
+	}
+	if victim == 0 {
+		t.Fatal("spec has no deletable edge")
+	}
+	if _, err := e.DeleteEdgeCtx(cancelled, victim); err == nil {
+		t.Fatal("cancelled delete unexpectedly succeeded")
+	}
+	out, err = e.RunDetailedCtx(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	qg, _ = e.Query().Graph()
+	truth = oracle(fx.db, qg, e.Sigma())
+	if out.Stage != StageFull || out.Truncated || len(out.Results) != len(truth) {
+		t.Fatalf("run after cancelled delete not exact: %+v, oracle has %d", out, len(truth))
+	}
+	assertSoundSubset(t, out.Results, truth)
+}

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"time"
+
+	"prague/internal/core"
+	"prague/internal/faultinject"
+	"prague/internal/metrics"
+	"prague/internal/service"
+	"prague/internal/workload"
+)
+
+// Chaos demonstrates the robustness layer end to end: the same
+// verification-heavy similarity workload is replayed against an
+// at-capacity fault-free service and against one offered twice its
+// admission capacity while injected panics kill verification workers. The
+// report shows what the overload machinery promises — excess load shed with
+// typed errors, panics recovered and flagged, and the p99 exact-path SRT of
+// admitted runs staying within 1.5x of the fault-free baseline.
+func (s *Suite) Chaos() error {
+	if err := s.ensureAIDSQueries(); err != nil {
+		return err
+	}
+	wq := s.aidsQueries[len(s.aidsQueries)-1] // most verification work
+	const (
+		inflight = 4
+		runsEach = 60
+	)
+
+	s.header("Chaos: overload + worker panics vs the fault-free baseline")
+	base, err := s.chaosPhase(wq, inflight, inflight, runsEach, nil)
+	if err != nil {
+		return err
+	}
+	inj := faultinject.New()
+	inj.Set(faultinject.SiteVerify, faultinject.Rule{Every: 997, Panic: true})
+	over, err := s.chaosPhase(wq, inflight, 2*inflight, runsEach, inj)
+	if err != nil {
+		return err
+	}
+
+	s.printf("workload %s, in-flight limit %d, %d runs per client\n", wq.Name, inflight, runsEach)
+	s.printf("  %-26s %10s %10s\n", "", "baseline", "2x+panics")
+	s.printf("  %-26s %10d %10d\n", "clients", inflight, 2*inflight)
+	s.printf("  %-26s %10d %10d\n", "exact (StageFull) runs", base.exact, over.exact)
+	s.printf("  %-26s %10d %10d\n", "degraded (flagged) runs", base.degraded, over.degraded)
+	s.printf("  %-26s %10d %10d\n", "shed (ErrOverloaded)", base.shed, over.shed)
+	s.printf("  %-26s %10d %10d\n", "worker panics recovered", base.panics, over.panics)
+	s.printf("  %-26s %9.2fms %9.2fms\n", "p99 exact-path SRT", ms(base.p99), ms(over.p99))
+	if base.p99 > 0 {
+		s.printf("p99 ratio under 2x overload: %.2fx (bar 1.5x)\n", float64(over.p99)/float64(base.p99))
+	}
+	s.printf("shed rate at 2x offered load: %.2f\n", float64(over.shed)/float64(2*inflight*runsEach))
+	return nil
+}
+
+type chaosPhaseResult struct {
+	exact, degraded, shed, panics int64
+	p99                           time.Duration
+}
+
+func (s *Suite) chaosPhase(wq workload.Query, inflight, clients, runsEach int, inj *faultinject.Injector) (chaosPhaseResult, error) {
+	reg := metrics.NewRegistry()
+	opts := []service.Option{
+		service.WithSigma(s.cfg.Sigma),
+		service.WithMetrics(reg),
+		service.WithSessionTTL(0),
+		service.WithVerifyWorkers(2),
+		service.WithMaxInFlight(inflight),
+		service.WithCandidateCache(-1), // every Run re-verifies
+	}
+	if inj != nil {
+		opts = append(opts, service.WithFaultInjection(inj))
+	}
+	svc, err := service.New(s.aidsDB, s.aidsIdx, opts...)
+	if err != nil {
+		return chaosPhaseResult{}, err
+	}
+	defer svc.Close()
+
+	ctx := context.Background()
+	sessions := make([]*service.Session, clients)
+	for i := range sessions {
+		if sessions[i], err = formulatedSession(svc, wq); err != nil {
+			return chaosPhaseResult{}, err
+		}
+	}
+
+	var res chaosPhaseResult
+	errc := make(chan error, clients)
+	lats := make(chan time.Duration, clients*runsEach)
+	for _, ss := range sessions {
+		ss := ss
+		go func() {
+			for i := 0; i < runsEach; i++ {
+				start := time.Now()
+				out, err := ss.RunDetailed(ctx)
+				switch {
+				case errors.Is(err, service.ErrOverloaded):
+					// counted from the registry below
+				case err != nil:
+					errc <- err
+					return
+				case out.Stage == core.StageFull:
+					lats <- time.Since(start)
+				}
+			}
+			errc <- nil
+		}()
+	}
+	for range sessions {
+		if err := <-errc; err != nil {
+			return chaosPhaseResult{}, err
+		}
+	}
+	close(lats)
+	var exactLat []time.Duration
+	for d := range lats {
+		exactLat = append(exactLat, d)
+	}
+	sort.Slice(exactLat, func(i, j int) bool { return exactLat[i] < exactLat[j] })
+	if n := len(exactLat); n > 0 {
+		res.p99 = exactLat[(n*99)/100]
+	}
+	res.exact = int64(len(exactLat))
+	snap := reg.Snapshot()
+	res.shed = snap.Counters[metrics.CounterOverloadShed]
+	res.panics = snap.Counters[metrics.CounterWorkerPanics]
+	res.degraded = snap.Counters[metrics.CounterDegradePartial] +
+		snap.Counters[metrics.CounterDegradeSimilar] +
+		snap.Counters[metrics.CounterDegradeCached]
+	return res, nil
+}
+
+// formulatedSession creates a session and formulates wq in it, resolving a
+// pending Modify-or-SimQuery choice toward similarity.
+func formulatedSession(svc *service.Service, wq workload.Query) (*service.Session, error) {
+	ctx := context.Background()
+	ss, err := svc.Create(ctx)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]int, len(wq.NodeLabels))
+	for i, l := range wq.NodeLabels {
+		if ids[i], err = ss.AddNode(l); err != nil {
+			return nil, err
+		}
+	}
+	for _, ed := range wq.Edges {
+		out, err := ss.AddEdge(ctx, ids[ed[0]], ids[ed[1]])
+		if err != nil {
+			return nil, err
+		}
+		if out.NeedsChoice {
+			if _, err := ss.ChooseSimilarity(ctx); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return ss, nil
+}

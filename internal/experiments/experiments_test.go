@@ -24,6 +24,7 @@ func TestSuiteSmoke(t *testing.T) {
 		"Table II", "Figure 9(a)", "Figures 9(b)-(e)", "Figures 9(f)-(i)",
 		"Figure 9(j)", "Table III", "Table IV", "Figure 10(a)",
 		"Figures 10(b)-(e)", "Table V", "Latency budget",
+		"Chaos: overload + worker panics",
 		"sequence invariance", "verification-free", "DIF pruning", "β sensitivity",
 	}
 	for _, h := range wantHeaders {
@@ -48,7 +49,7 @@ func TestNamesStable(t *testing.T) {
 	// RunAll (exercised by TestSuiteSmoke) iterates Names(), so every name
 	// is known to dispatch; here we only pin the published list.
 	names := Names()
-	if len(names) != 17 {
+	if len(names) != 18 {
 		t.Errorf("experiment list changed: %v", names)
 	}
 	seen := map[string]bool{}

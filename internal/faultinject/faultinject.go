@@ -1,0 +1,200 @@
+// Package faultinject is PRAGUE's deterministic fault-injection hook
+// layer: a context-carried Injector that sites on the evaluation hot path
+// (per-candidate verification, candidate-cache computation, index probes)
+// consult before doing real work. A firing rule can delay the site, make it
+// return a typed error, or panic inside it — exactly the failure classes a
+// production deployment sees from slow disks, poisoned cache shards, and
+// bugs in verification code.
+//
+// Determinism is the point: rules fire on a per-site hit counter (every Nth
+// hit, with an offset), so a chaos schedule replays identically for a given
+// workload interleaving and seeds stay meaningful across runs. The package
+// follows the trace package's nil-safety convention: a nil *Injector and a
+// context without one are both valid and cost one context Value miss per
+// site — production binaries that never arm an injector pay nothing else.
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Site identifies one instrumented hook point on the evaluation path.
+type Site uint8
+
+const (
+	// SiteVerify fires inside per-candidate verification (VF2/SimVerify),
+	// under the workpool's panic isolation.
+	SiteVerify Site = iota
+	// SiteCache fires at candidate-cache lookups; a firing error makes the
+	// cache behave as unavailable (the caller computes without it).
+	SiteCache
+	// SiteIndex fires at non-indexed-fragment index probes (the Algorithm 3
+	// intersections, whose output is always verified downstream); a firing
+	// error degrades the probe to the sound no-information candidate set
+	// (the whole database).
+	SiteIndex
+
+	numSites
+)
+
+var siteNames = [numSites]string{
+	SiteVerify: "verify",
+	SiteCache:  "cache",
+	SiteIndex:  "index",
+}
+
+func (s Site) String() string {
+	if int(s) < len(siteNames) {
+		return siteNames[s]
+	}
+	return "unknown"
+}
+
+// Sites lists every instrumented site.
+func Sites() []Site { return []Site{SiteVerify, SiteCache, SiteIndex} }
+
+// ErrInjected is the sentinel wrapped by every injected error; consumers
+// test with errors.Is. Injected panics carry a PanicValue.
+var ErrInjected = errors.New("injected fault")
+
+// PanicValue is what injected panics carry, so recovery sites (the
+// workpool) can distinguish injected chaos from genuine bugs in logs while
+// treating both identically.
+type PanicValue struct{ Site Site }
+
+func (p PanicValue) String() string { return "faultinject: injected panic at " + p.Site.String() }
+
+// Rule configures when and how one site misbehaves. A rule fires on hit
+// numbers n (1-based, per site) with n % Every == Offset % Every; Every ≤ 0
+// disables the rule. When it fires, the site first sleeps Latency (honoring
+// context cancellation), then panics if Panic is set, then returns an
+// injected error if Err is set; a latency-only rule just delays. Panic rules
+// are meant for SiteVerify, which runs under the workpool's per-candidate
+// recovery; a panic injected at an unisolated site propagates to the caller
+// like any other bug.
+type Rule struct {
+	Every   int
+	Offset  int
+	Latency time.Duration
+	Err     bool
+	Panic   bool
+}
+
+func (r Rule) fires(hit int64) bool {
+	if r.Every <= 0 {
+		return false
+	}
+	return hit%int64(r.Every) == int64(r.Offset%r.Every)
+}
+
+// Injector holds the armed rules and per-site counters. All methods are
+// safe for concurrent use and nil-safe; the zero value has no rules armed.
+type Injector struct {
+	disarmed atomic.Bool
+	rules    [numSites]atomic.Pointer[Rule]
+	hits     [numSites]atomic.Int64
+	fired    [numSites]atomic.Int64
+}
+
+// New returns an empty injector (no rules armed).
+func New() *Injector { return &Injector{} }
+
+// Set arms (or, with a zero Rule, clears) the rule for one site.
+func (in *Injector) Set(site Site, r Rule) {
+	if in == nil || int(site) >= int(numSites) {
+		return
+	}
+	in.rules[site].Store(&r)
+}
+
+// Disarm stops all rules from firing without clearing them or the counters —
+// chaos tests flip this to prove the system recovers once faults stop.
+func (in *Injector) Disarm() {
+	if in != nil {
+		in.disarmed.Store(true)
+	}
+}
+
+// Rearm re-enables the armed rules after Disarm.
+func (in *Injector) Rearm() {
+	if in != nil {
+		in.disarmed.Store(false)
+	}
+}
+
+// Hits returns how many times the site was reached (whether or not a rule
+// fired). Nil-safe.
+func (in *Injector) Hits(site Site) int64 {
+	if in == nil || int(site) >= int(numSites) {
+		return 0
+	}
+	return in.hits[site].Load()
+}
+
+// Fired returns how many faults the site's rule injected. Nil-safe.
+func (in *Injector) Fired(site Site) int64 {
+	if in == nil || int(site) >= int(numSites) {
+		return 0
+	}
+	return in.fired[site].Load()
+}
+
+// Hit reports that execution reached the site and applies the armed rule:
+// it may sleep, panic, or return an error wrapping ErrInjected. A nil
+// injector, an unarmed site, and a non-firing hit all return nil. Hits are
+// counted even while disarmed, so counters stay comparable across phases.
+func (in *Injector) Hit(ctx context.Context, site Site) error {
+	if in == nil || int(site) >= int(numSites) {
+		return nil
+	}
+	hit := in.hits[site].Add(1)
+	rp := in.rules[site].Load()
+	if rp == nil || in.disarmed.Load() || !rp.fires(hit) {
+		return nil
+	}
+	in.fired[site].Add(1)
+	if rp.Latency > 0 {
+		t := time.NewTimer(rp.Latency)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return fmt.Errorf("faultinject: %s latency interrupted: %w", site, ctx.Err())
+		}
+	}
+	if rp.Panic {
+		panic(PanicValue{Site: site})
+	}
+	if rp.Err {
+		return fmt.Errorf("faultinject: %s: %w", site, ErrInjected)
+	}
+	return nil
+}
+
+type ctxKey struct{}
+
+// With returns a context carrying the injector; a nil injector returns ctx
+// unchanged.
+func With(ctx context.Context, in *Injector) context.Context {
+	if in == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, in)
+}
+
+// FromContext returns the injector carried by ctx, or nil.
+func FromContext(ctx context.Context) *Injector {
+	in, _ := ctx.Value(ctxKey{}).(*Injector)
+	return in
+}
+
+// Hit is the convenience form sites use: apply the rule of the injector
+// carried by ctx, if any. On an uninstrumented context this is a single
+// Value miss.
+func Hit(ctx context.Context, site Site) error {
+	return FromContext(ctx).Hit(ctx, site)
+}

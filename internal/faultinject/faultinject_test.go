@@ -1,0 +1,154 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilAndUnarmedAreNoOps(t *testing.T) {
+	var in *Injector
+	if err := in.Hit(context.Background(), SiteVerify); err != nil {
+		t.Fatalf("nil injector: %v", err)
+	}
+	in.Set(SiteVerify, Rule{Every: 1, Err: true})
+	in.Disarm()
+	in.Rearm()
+	if in.Hits(SiteVerify) != 0 || in.Fired(SiteVerify) != 0 {
+		t.Fatal("nil injector counted")
+	}
+	if err := Hit(context.Background(), SiteCache); err != nil {
+		t.Fatalf("uninstrumented context: %v", err)
+	}
+	armed := New()
+	if err := armed.Hit(context.Background(), SiteIndex); err != nil {
+		t.Fatalf("unarmed site: %v", err)
+	}
+	if got := armed.Hits(SiteIndex); got != 1 {
+		t.Fatalf("hits = %d, want 1", got)
+	}
+}
+
+func TestEveryNthDeterminism(t *testing.T) {
+	in := New()
+	in.Set(SiteVerify, Rule{Every: 3, Err: true})
+	ctx := With(context.Background(), in)
+	var pattern []bool
+	for i := 0; i < 9; i++ {
+		pattern = append(pattern, Hit(ctx, SiteVerify) != nil)
+	}
+	// 1-based hits fire when hit % 3 == 0: hits 3, 6, 9.
+	want := []bool{false, false, true, false, false, true, false, false, true}
+	for i := range want {
+		if pattern[i] != want[i] {
+			t.Fatalf("hit %d fired=%v, want %v (pattern %v)", i+1, pattern[i], want[i], pattern)
+		}
+	}
+	if in.Fired(SiteVerify) != 3 {
+		t.Fatalf("fired = %d, want 3", in.Fired(SiteVerify))
+	}
+	// Offset shifts the firing phase.
+	in2 := New()
+	in2.Set(SiteVerify, Rule{Every: 3, Offset: 1, Err: true})
+	fired := 0
+	var firstFired int
+	for i := 1; i <= 6; i++ {
+		if in2.Hit(context.Background(), SiteVerify) != nil {
+			fired++
+			if firstFired == 0 {
+				firstFired = i
+			}
+		}
+	}
+	if fired != 2 || firstFired != 1 {
+		t.Fatalf("offset rule: fired=%d first=%d, want 2 and 1", fired, firstFired)
+	}
+}
+
+func TestErrorWrapsSentinel(t *testing.T) {
+	in := New()
+	in.Set(SiteCache, Rule{Every: 1, Err: true})
+	err := in.Hit(context.Background(), SiteCache)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+}
+
+func TestPanicCarriesPanicValue(t *testing.T) {
+	in := New()
+	in.Set(SiteVerify, Rule{Every: 1, Panic: true})
+	defer func() {
+		v := recover()
+		pv, ok := v.(PanicValue)
+		if !ok || pv.Site != SiteVerify {
+			t.Fatalf("recovered %v, want PanicValue{SiteVerify}", v)
+		}
+	}()
+	in.Hit(context.Background(), SiteVerify) //nolint:errcheck // panics
+	t.Fatal("unreachable")
+}
+
+func TestLatencyHonorsContext(t *testing.T) {
+	in := New()
+	in.Set(SiteIndex, Rule{Every: 1, Latency: time.Minute})
+	ctx, cancel := context.WithCancel(With(context.Background(), in))
+	cancel()
+	t0 := time.Now()
+	err := Hit(ctx, SiteIndex)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if d := time.Since(t0); d > 5*time.Second {
+		t.Fatalf("cancelled latency injection took %v", d)
+	}
+	// A short latency-only rule delays but succeeds.
+	in2 := New()
+	in2.Set(SiteIndex, Rule{Every: 1, Latency: time.Millisecond})
+	if err := in2.Hit(context.Background(), SiteIndex); err != nil {
+		t.Fatalf("latency-only rule errored: %v", err)
+	}
+}
+
+func TestDisarmStopsFiringButCountsHits(t *testing.T) {
+	in := New()
+	in.Set(SiteVerify, Rule{Every: 1, Err: true})
+	in.Disarm()
+	for i := 0; i < 5; i++ {
+		if err := in.Hit(context.Background(), SiteVerify); err != nil {
+			t.Fatalf("disarmed injector fired: %v", err)
+		}
+	}
+	if in.Hits(SiteVerify) != 5 || in.Fired(SiteVerify) != 0 {
+		t.Fatalf("hits=%d fired=%d, want 5 and 0", in.Hits(SiteVerify), in.Fired(SiteVerify))
+	}
+	in.Rearm()
+	if err := in.Hit(context.Background(), SiteVerify); err == nil {
+		t.Fatal("rearmed injector did not fire")
+	}
+}
+
+func TestConcurrentHitsRace(t *testing.T) {
+	in := New()
+	in.Set(SiteVerify, Rule{Every: 2, Err: true})
+	ctx := With(context.Background(), in)
+	var wg sync.WaitGroup
+	const workers, per = 8, 100
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				Hit(ctx, SiteVerify) //nolint:errcheck // counting only
+			}
+		}()
+	}
+	wg.Wait()
+	if got := in.Hits(SiteVerify); got != workers*per {
+		t.Fatalf("hits = %d, want %d", got, workers*per)
+	}
+	if got := in.Fired(SiteVerify); got != workers*per/2 {
+		t.Fatalf("fired = %d, want %d", got, workers*per/2)
+	}
+}

@@ -47,6 +47,19 @@ const (
 	CounterTraceJournalEvicted = "trace_journal_evictions" // slow-journal trees displaced by slower ones
 	CounterTraceJournalLen     = "trace_journal_len"       // resident slow-journal trees (gauge-like)
 
+	// Robustness counters (overload protection and the degradation ladder).
+	// The degrade_stage_* family is a histogram-by-counter over the ladder's
+	// discrete stages: one counter per stage, incremented per Run.
+	CounterOverloadShed     = "overload_shed_total"      // actions rejected by admission control
+	CounterWorkerPanics     = "worker_panics_total"      // predicate panics recovered by the pool
+	CounterRunsTruncated    = "runs_truncated_total"     // Run outcomes flagged Truncated
+	CounterDegradeFull      = "degrade_stage_full"       // Runs answered exactly, inside budget
+	CounterDegradePartial   = "degrade_stage_partial"    // Runs answered with a verified subset
+	CounterDegradeSimilar   = "degrade_stage_similarity" // Runs answered by similarity fallback
+	CounterDegradeCached    = "degrade_stage_cached"     // Runs answered from last-known-good
+	CounterBudgetExhausted  = "run_budget_exhausted"     // Runs with nothing to serve on any rung
+	CounterVerifyFaultTotal = "verify_faults_total"      // candidate checks dropped by faults
+
 	// Histograms (durations).
 	HistSpigBuild    = "spig_build"   // SPIG construction per formulation step
 	HistStepEval     = "step_eval"    // candidate maintenance per formulation step

@@ -17,11 +17,13 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"prague/internal/candcache"
 	"prague/internal/clock"
 	"prague/internal/core"
+	"prague/internal/faultinject"
 	"prague/internal/graph"
 	"prague/internal/index"
 	"prague/internal/metrics"
@@ -66,6 +68,12 @@ type Options struct {
 	SlowThreshold time.Duration // slow-journal admission threshold
 	SlowJournal   int           // slow-journal capacity (0: trace default)
 	OpsAddr       string        // ops/debug HTTP listen address ("" disables)
+
+	// Robustness knobs (see overload.go and the core degradation ladder).
+	MaxInFlight    int                   // global in-flight evaluating actions (0: unlimited)
+	SessionQueue   int                   // per-session in-flight + queued actions (0: unlimited)
+	ActionDeadline time.Duration         // per-action budget; Run degrades, others cancel (0: none)
+	Injector       *faultinject.Injector // deterministic fault injection (nil: none)
 
 	janitorHook func(evicted int) // test observability for janitor sweeps
 }
@@ -125,6 +133,29 @@ func WithSlowJournalSize(n int) Option {
 // /trace/slow, and /debug/pprof. The server stops with Close.
 func WithOpsServer(addr string) Option { return func(o *Options) { o.OpsAddr = addr } }
 
+// WithMaxInFlight bounds the service-wide number of evaluating actions
+// (AddEdge/DeleteEdge/ChooseSimilarity/Run) in flight at once. Excess
+// actions are shed immediately with a typed *OverloadError instead of
+// queueing (default 0: unlimited).
+func WithMaxInFlight(n int) Option { return func(o *Options) { o.MaxInFlight = n } }
+
+// WithSessionQueue bounds, per session, the number of evaluating actions
+// running or waiting on the session's serializing mutex. One misbehaving
+// client cannot pile work service-wide (default 0: unlimited).
+func WithSessionQueue(n int) Option { return func(o *Options) { o.SessionQueue = n } }
+
+// WithActionDeadline budgets each evaluating action. Run degrades down the
+// core ladder when the budget expires (partial → similarity bounds → last
+// known good), so admitted Runs answer within ~the deadline; formulation
+// actions are cancelled at the deadline and report a wrapped
+// context.DeadlineExceeded (default 0: no budget).
+func WithActionDeadline(d time.Duration) Option { return func(o *Options) { o.ActionDeadline = d } }
+
+// WithFaultInjection arms deterministic fault injection on every action the
+// service evaluates (chaos testing; see prague/internal/faultinject). A nil
+// injector — the default — costs nothing on the hot path.
+func WithFaultInjection(in *faultinject.Injector) Option { return func(o *Options) { o.Injector = in } }
+
 // withJanitorHook registers a callback invoked after every janitor sweep
 // with the number of sessions it evicted (tests).
 func withJanitorHook(fn func(evicted int)) Option {
@@ -143,6 +174,10 @@ type Service struct {
 	cache  *candcache.Cache // shared across sessions; nil when disabled
 	tracer *trace.Tracer    // nil when tracing was never requested
 	ops    *ops.Server      // nil unless WithOpsServer
+
+	// inflight is the global admission semaphore (nil: unlimited). Acquire
+	// is non-blocking: a full channel sheds the action (overload.go).
+	inflight chan struct{}
 
 	mu       sync.Mutex
 	sessions map[string]*Session
@@ -209,9 +244,15 @@ func New(db []*graph.Graph, idx *index.Set, opts ...Option) (*Service, error) {
 		}
 		s.ops = srv
 	}
+	if opt.MaxInFlight > 0 {
+		s.inflight = make(chan struct{}, opt.MaxInFlight)
+	}
 	s.pool.OnBatch = func(n int) {
 		reg.Counter(metrics.CounterVerifyTasks).Add(int64(n))
 		reg.Counter(metrics.CounterVerifyBatches).Inc()
+	}
+	s.pool.OnPanic = func(any) {
+		reg.Counter(metrics.CounterWorkerPanics).Inc()
 	}
 	if opt.SessionTTL > 0 {
 		interval := opt.SessionTTL / 4
@@ -247,6 +288,7 @@ func (s *Service) Close() {
 	for _, ss := range victims {
 		ss.mu.Lock()
 		ss.gone = true
+		ss.svcClosed = true
 		ss.mu.Unlock()
 	}
 	s.reg.Counter(metrics.CounterSessionsActive).Add(-int64(len(victims)))
@@ -302,6 +344,7 @@ func (s *Service) Create(ctx context.Context) (*Session, error) {
 	}
 	eng.SetPool(s.pool)
 	eng.SetCandidateCache(s.cache)
+	eng.SetRunBudget(s.opt.ActionDeadline)
 
 	s.mu.Lock()
 	if s.closed {
@@ -419,25 +462,50 @@ type Session struct {
 	id  string
 	svc *Service
 
-	mu       sync.Mutex
-	eng      *core.Engine
-	lastUsed time.Time
-	gone     bool
-	lastRun  *trace.SpanData // finished span tree of the latest traced Run
+	// pending counts this session's evaluating actions running or queued on
+	// mu; the per-session admission bound reads it without the lock.
+	pending atomic.Int64
+
+	mu        sync.Mutex
+	eng       *core.Engine
+	lastUsed  time.Time
+	gone      bool
+	svcClosed bool            // gone because the whole service shut down
+	lastRun   *trace.SpanData // finished span tree of the latest traced Run
 }
 
 // ID returns the service-unique session identifier.
 func (ss *Session) ID() string { return ss.id }
 
 // begin locks the session and checks liveness; callers must End (unlock).
+// An action racing Close gets the typed ErrServiceClosed (the session is
+// gone because the service is), never a stale-state access: the Close path
+// marks every victim under its own mutex before tearing anything down.
 func (ss *Session) begin() error {
 	ss.mu.Lock()
 	if ss.gone {
+		closed := ss.svcClosed
 		ss.mu.Unlock()
+		if closed {
+			return fmt.Errorf("service: session %s: %w", ss.id, ErrServiceClosed)
+		}
 		return fmt.Errorf("service: session %s: %w", ss.id, ErrSessionNotFound)
 	}
 	ss.lastUsed = ss.svc.clk.Now()
 	return nil
+}
+
+// actionCtx instruments an evaluating action's context: the service's fault
+// injector crosses over, and — when budget is true — the per-action
+// deadline applies. The returned cancel must always be called.
+func (ss *Session) actionCtx(ctx context.Context, budget bool) (context.Context, context.CancelFunc) {
+	ctx = faultinject.With(ctx, ss.svc.opt.Injector)
+	if budget {
+		if d := ss.svc.opt.ActionDeadline; d > 0 {
+			return context.WithTimeout(ctx, d)
+		}
+	}
+	return ctx, func() {}
 }
 
 // AddNode drops a labeled node on the canvas and returns its stable id.
@@ -457,11 +525,18 @@ func (ss *Session) AddEdge(ctx context.Context, u, v int) (core.StepOutcome, err
 
 // AddLabeledEdge is AddEdge for an edge carrying an edge label.
 func (ss *Session) AddLabeledEdge(ctx context.Context, u, v int, label string) (core.StepOutcome, error) {
+	release, err := ss.admit()
+	if err != nil {
+		return core.StepOutcome{}, err
+	}
+	defer release()
 	if err := ss.begin(); err != nil {
 		return core.StepOutcome{}, err
 	}
 	defer ss.mu.Unlock()
-	tctx, sp := ss.svc.tracer.StartRoot(ctx, trace.KindAddEdge)
+	actx, cancel := ss.actionCtx(ctx, true)
+	defer cancel()
+	tctx, sp := ss.svc.tracer.StartRoot(actx, trace.KindAddEdge)
 	sp.SetAttr("session", ss.id)
 	out, err := ss.eng.AddLabeledEdgeCtx(tctx, u, v, label)
 	if err != nil {
@@ -479,11 +554,18 @@ func (ss *Session) AddLabeledEdge(ctx context.Context, u, v int, label string) (
 // ChooseSimilarity resolves a pending empty-Rq choice by continuing as a
 // similarity query.
 func (ss *Session) ChooseSimilarity(ctx context.Context) (core.StepOutcome, error) {
+	release, err := ss.admit()
+	if err != nil {
+		return core.StepOutcome{}, err
+	}
+	defer release()
 	if err := ss.begin(); err != nil {
 		return core.StepOutcome{}, err
 	}
 	defer ss.mu.Unlock()
-	tctx, sp := ss.svc.tracer.StartRoot(ctx, trace.KindChooseSim)
+	actx, cancel := ss.actionCtx(ctx, true)
+	defer cancel()
+	tctx, sp := ss.svc.tracer.StartRoot(actx, trace.KindChooseSim)
 	sp.SetAttr("session", ss.id)
 	out, err := ss.eng.ChooseSimilarityCtx(tctx)
 	sp.End()
@@ -492,11 +574,18 @@ func (ss *Session) ChooseSimilarity(ctx context.Context) (core.StepOutcome, erro
 
 // DeleteEdge removes the edge drawn at the given step.
 func (ss *Session) DeleteEdge(ctx context.Context, step int) (core.StepOutcome, error) {
+	release, err := ss.admit()
+	if err != nil {
+		return core.StepOutcome{}, err
+	}
+	defer release()
 	if err := ss.begin(); err != nil {
 		return core.StepOutcome{}, err
 	}
 	defer ss.mu.Unlock()
-	tctx, sp := ss.svc.tracer.StartRoot(ctx, trace.KindDeleteEdge)
+	actx, cancel := ss.actionCtx(ctx, true)
+	defer cancel()
+	tctx, sp := ss.svc.tracer.StartRoot(actx, trace.KindDeleteEdge)
 	sp.SetAttr("session", ss.id)
 	sp.Add("step", int64(step))
 	out, err := ss.eng.DeleteEdgeCtx(tctx, step)
@@ -527,17 +616,33 @@ func (ss *Session) SuggestDeletion() (core.Suggestion, error) {
 // ChooseSimilarity decide) before running. On cancellation Run returns
 // promptly with the partial ranking and an error wrapping ctx.Err().
 func (ss *Session) Run(ctx context.Context) ([]core.Result, error) {
+	out, err := ss.RunDetailed(ctx)
+	return out.Results, err
+}
+
+// RunDetailed is Run reporting the full ladder outcome: the results plus
+// the Truncated flag, the degradation stage, and the fault count. With an
+// action deadline configured, an admitted Run answers within roughly the
+// budget — degraded and flagged rather than late or wrong.
+func (ss *Session) RunDetailed(ctx context.Context) (core.RunOutcome, error) {
+	release, err := ss.admit()
+	if err != nil {
+		return core.RunOutcome{}, err
+	}
+	defer release()
 	if err := ss.begin(); err != nil {
-		return nil, err
+		return core.RunOutcome{}, err
 	}
 	defer ss.mu.Unlock()
 	if ss.eng.AwaitingChoice() {
-		return nil, fmt.Errorf("service: session %s: run: %w", ss.id, core.ErrAwaitingChoice)
+		return core.RunOutcome{}, fmt.Errorf("service: session %s: run: %w", ss.id, core.ErrAwaitingChoice)
 	}
-	tctx, sp := ss.svc.tracer.StartRoot(ctx, trace.KindRun)
+	actx, cancel := ss.actionCtx(ctx, false) // Run's budget is the engine ladder's
+	defer cancel()
+	tctx, sp := ss.svc.tracer.StartRoot(actx, trace.KindRun)
 	sp.SetAttr("session", ss.id)
-	results, err := ss.eng.RunCtx(tctx)
-	sp.Add("results", int64(len(results)))
+	out, err := ss.eng.RunDetailedCtx(tctx)
+	sp.Add("results", int64(len(out.Results)))
 	if err != nil {
 		sp.SetAttr("error", err.Error())
 	}
@@ -545,12 +650,42 @@ func (ss *Session) Run(ctx context.Context) ([]core.Result, error) {
 	if d := sp.Data(); d != nil {
 		ss.lastRun = d
 	}
+	ss.observeRun(out, err)
 	if err != nil {
-		return results, err
+		return out, err
 	}
 	ss.svc.reg.Counter(metrics.CounterRuns).Inc()
 	ss.svc.reg.Histogram(metrics.HistSRT).Observe(ss.eng.Stats().RunTime)
-	return results, nil
+	return out, nil
+}
+
+// observeRun records the ladder outcome: the per-stage counter family (a
+// histogram over the ladder's discrete stages), truncations, dropped
+// checks, and exhausted budgets. Caller holds ss.mu.
+func (ss *Session) observeRun(out core.RunOutcome, err error) {
+	reg := ss.svc.reg
+	if errors.Is(err, core.ErrBudgetExhausted) {
+		reg.Counter(metrics.CounterBudgetExhausted).Inc()
+	}
+	if err != nil {
+		return
+	}
+	switch out.Stage {
+	case core.StagePartial:
+		reg.Counter(metrics.CounterDegradePartial).Inc()
+	case core.StageSimilarity:
+		reg.Counter(metrics.CounterDegradeSimilar).Inc()
+	case core.StageCachedGood:
+		reg.Counter(metrics.CounterDegradeCached).Inc()
+	default:
+		reg.Counter(metrics.CounterDegradeFull).Inc()
+	}
+	if out.Truncated {
+		reg.Counter(metrics.CounterRunsTruncated).Inc()
+	}
+	if out.Faults > 0 {
+		reg.Counter(metrics.CounterVerifyFaultTotal).Add(out.Faults)
+	}
 }
 
 // TraceReport returns the SRT breakdown of the session's most recent traced
@@ -623,6 +758,21 @@ func (ss *Session) Describe() (Info, error) {
 		TotalCount:     total,
 		SRT:            ss.eng.Stats().RunTime,
 	}, nil
+}
+
+// QueryGraph snapshots the session's current query as a graph (nil when no
+// edge is drawn yet). Oracles and differential harnesses use it to compute
+// ground truth for exactly the query the session holds.
+func (ss *Session) QueryGraph() (*graph.Graph, error) {
+	if err := ss.begin(); err != nil {
+		return nil, err
+	}
+	defer ss.mu.Unlock()
+	if ss.eng.Query().Size() == 0 {
+		return nil, nil
+	}
+	qg, _ := ss.eng.Query().Graph()
+	return qg, nil
 }
 
 // SpigDump renders the session's SPIG set (debugging).

@@ -13,6 +13,7 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"prague/internal/trace"
@@ -21,16 +22,35 @@ import (
 // Pool runs submitted closures on a fixed set of persistent workers.
 // Filter may be called concurrently from many sessions; tasks interleave
 // fairly because each candidate is its own unit of work.
+//
+// Workers are panic-isolated: a predicate that panics (a verification bug,
+// or injected chaos) fails only its own candidate — the panic is recovered,
+// counted, and reported in the batch's Stats, and the worker stays alive to
+// serve other sessions. Without isolation one poisoned candidate would kill
+// a shared worker goroutine and, with it, the whole fleet's verification
+// capacity.
 type Pool struct {
 	tasks   chan func()
 	workers int
 	wg      sync.WaitGroup
 	once    sync.Once
+	panics  atomic.Int64
 
 	// OnBatch, if set, observes each verification batch routed through the
 	// pool (the batch's candidate count). Set it right after New, before
 	// the pool is shared; it is read without synchronization afterwards.
 	OnBatch func(candidates int)
+
+	// OnPanic, if set, observes each recovered predicate panic with the
+	// recovered value. Same publication rule as OnBatch.
+	OnPanic func(v any)
+}
+
+// Stats reports what happened inside one Filter batch beyond the kept set.
+type Stats struct {
+	// Panics counts candidates whose predicate panicked; each was recovered
+	// and treated as not kept.
+	Panics int
 }
 
 // New creates a pool with n persistent workers. n < 1 defaults to
@@ -60,6 +80,37 @@ func (p *Pool) Workers() int {
 	return p.workers
 }
 
+// Panics returns how many predicate panics the pool has recovered since
+// creation. Nil-safe.
+func (p *Pool) Panics() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.panics.Load()
+}
+
+// notePanic records one recovered predicate panic on the pool (when there
+// is one) and the batch's stats.
+func notePanic(p *Pool, panics *atomic.Int64, v any) {
+	panics.Add(1)
+	if p != nil {
+		p.panics.Add(1)
+		if p.OnPanic != nil {
+			p.OnPanic(v)
+		}
+	}
+}
+
+// safeCall runs pred(id), converting a panic into (false, recovered).
+func safeCall(pred func(id int) bool, id int) (keep bool, panicked any) {
+	defer func() {
+		if v := recover(); v != nil {
+			keep, panicked = false, v
+		}
+	}()
+	return pred(id), nil
+}
+
 // Close stops the workers after draining queued tasks. In-flight Filter
 // calls must have completed; Close is idempotent.
 func (p *Pool) Close() {
@@ -74,10 +125,20 @@ func (p *Pool) Close() {
 // Candidates are checked on the pool's workers; a nil pool, a single-worker
 // pool, or a tiny batch runs inline. Cancellation is polled between
 // candidates: on a done context Filter stops early and returns the verified
-// prefix found so far together with ctx.Err().
+// prefix found so far together with ctx.Err(). A panicking predicate fails
+// only its own candidate (see FilterStats for the count).
 func (p *Pool) Filter(ctx context.Context, ids []int, pred func(id int) bool) ([]int, error) {
+	out, _, err := p.FilterStats(ctx, ids, pred)
+	return out, err
+}
+
+// FilterStats is Filter reporting per-batch Stats: callers that must
+// distinguish "candidate rejected" from "candidate's check blew up" (the
+// degradation ladder flags the latter as truncation) read Stats.Panics.
+func (p *Pool) FilterStats(ctx context.Context, ids []int, pred func(id int) bool) ([]int, Stats, error) {
+	var panics atomic.Int64
 	if len(ids) == 0 {
-		return nil, ctx.Err()
+		return nil, Stats{}, ctx.Err()
 	}
 	if p != nil && p.OnBatch != nil {
 		p.OnBatch(len(ids))
@@ -90,10 +151,12 @@ func (p *Pool) Filter(ctx context.Context, ids []int, pred func(id int) bool) ([
 	batch := trace.SpanFromContext(ctx).Child(trace.KindVerifyBatch)
 	batch.Add("candidates", int64(len(ids)))
 	if p == nil || p.workers <= 1 || len(ids) < 2 {
-		out, err := filterInline(ctx, ids, pred, batch)
+		out, err := filterInline(ctx, ids, pred, batch, p, &panics)
+		st := Stats{Panics: int(panics.Load())}
 		batch.Add("kept", int64(len(out)))
+		batch.Add("panics", panics.Load())
 		batch.End()
-		return out, err
+		return out, st, err
 	}
 
 	keep := make([]bool, len(ids))
@@ -117,8 +180,13 @@ submit:
 				batch.Add("queue_wait_us", time.Since(submitted).Microseconds())
 			}
 			c := batch.Child(trace.KindVerifyCand)
-			keep[i] = pred(ids[i])
-			if keep[i] {
+			kept, panicked := safeCall(pred, ids[i])
+			keep[i] = kept
+			if panicked != nil {
+				notePanic(p, &panics, panicked)
+				c.Add("panicked", 1)
+			}
+			if kept {
 				c.Add("kept", 1)
 			}
 			c.End()
@@ -142,19 +210,29 @@ submit:
 		}
 	}
 	batch.Add("kept", int64(len(out)))
+	batch.Add("panics", panics.Load())
 	batch.End()
-	return out, err
+	return out, Stats{Panics: int(panics.Load())}, err
 }
 
 // FilterN is Filter with an explicit per-call worker bound for callers that
 // have no shared pool (the deprecated Engine.SetVerifyWorkers path). It
-// spawns at most workers goroutines for this call only.
+// spawns at most workers goroutines for this call only. Panicking
+// predicates fail only their own candidate, as with a shared pool.
 func FilterN(ctx context.Context, ids []int, workers int, pred func(id int) bool) ([]int, error) {
+	out, _, err := FilterNStats(ctx, ids, workers, pred)
+	return out, err
+}
+
+// FilterNStats is FilterN reporting per-batch Stats.
+func FilterNStats(ctx context.Context, ids []int, workers int, pred func(id int) bool) ([]int, Stats, error) {
+	var panics atomic.Int64
 	if len(ids) == 0 {
-		return nil, ctx.Err()
+		return nil, Stats{}, ctx.Err()
 	}
 	if workers <= 1 || len(ids) < 2*workers {
-		return filterInline(ctx, ids, pred, nil)
+		out, err := filterInline(ctx, ids, pred, nil, nil, &panics)
+		return out, Stats{Panics: int(panics.Load())}, err
 	}
 	keep := make([]bool, len(ids))
 	next := make(chan int)
@@ -167,7 +245,11 @@ func FilterN(ctx context.Context, ids []int, workers int, pred func(id int) bool
 				if ctx.Err() != nil {
 					continue
 				}
-				keep[i] = pred(ids[i])
+				kept, panicked := safeCall(pred, ids[i])
+				keep[i] = kept
+				if panicked != nil {
+					notePanic(nil, &panics, panicked)
+				}
 			}
 		}()
 	}
@@ -192,17 +274,21 @@ feed:
 			out = append(out, ids[i])
 		}
 	}
-	return out, err
+	return out, Stats{Panics: int(panics.Load())}, err
 }
 
-func filterInline(ctx context.Context, ids []int, pred func(id int) bool, batch *trace.Span) ([]int, error) {
+func filterInline(ctx context.Context, ids []int, pred func(id int) bool, batch *trace.Span, p *Pool, panics *atomic.Int64) ([]int, error) {
 	var out []int
 	for _, id := range ids {
 		if err := ctx.Err(); err != nil {
 			return out, err
 		}
 		c := batch.Child(trace.KindVerifyCand)
-		kept := pred(id)
+		kept, panicked := safeCall(pred, id)
+		if panicked != nil {
+			notePanic(p, panics, panicked)
+			c.Add("panicked", 1)
+		}
 		if kept {
 			out = append(out, id)
 			c.Add("kept", 1)

@@ -42,6 +42,7 @@
 package prague
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -49,6 +50,7 @@ import (
 
 	"prague/internal/core"
 	"prague/internal/dataset"
+	"prague/internal/faultinject"
 	"prague/internal/graph"
 	"prague/internal/index"
 	"prague/internal/metrics"
@@ -81,6 +83,15 @@ var (
 	// ErrNoTrace: a trace report was requested but tracing is disabled or no
 	// Run has been traced yet.
 	ErrNoTrace = service.ErrNoTrace
+	// ErrOverloaded: the action was shed by admission control (the concrete
+	// error is an *OverloadError carrying a retry-after hint).
+	ErrOverloaded = service.ErrOverloaded
+	// ErrBudgetExhausted: an action deadline expired with nothing sound to
+	// serve — not even a flagged, degraded answer.
+	ErrBudgetExhausted = core.ErrBudgetExhausted
+	// ErrVerifyFaults: verification faults (worker panics, injected errors)
+	// truncated the answer and the caller asked for strictness.
+	ErrVerifyFaults = core.ErrVerifyFaults
 )
 
 // Graph is a connected, undirected, node-labeled graph — the data model for
@@ -342,6 +353,84 @@ func WithSlowJournalSize(n int) Option { return service.WithSlowJournalSize(n) }
 // (JSON snapshot of the registry), /trace/slow (slow-action span trees),
 // and /debug/pprof. The server stops with Service.Close.
 func WithOpsServer(addr string) Option { return service.WithOpsServer(addr) }
+
+// WithMaxInFlight bounds the service-wide number of concurrently evaluating
+// actions. Excess actions are shed immediately (non-blocking) with an
+// *OverloadError wrapping ErrOverloaded; reads bypass admission. n ≤ 0
+// means unlimited (the default).
+func WithMaxInFlight(n int) Option { return service.WithMaxInFlight(n) }
+
+// WithSessionQueue bounds, per session, the number of evaluating actions
+// admitted at once; the excess is shed like WithMaxInFlight. n ≤ 0 means
+// unlimited (the default).
+func WithSessionQueue(n int) Option { return service.WithSessionQueue(n) }
+
+// WithActionDeadline budgets each evaluating action. An admitted Run
+// answers within roughly the budget by degrading down the ladder (exact →
+// flagged partial → flagged similarity bounds → flagged last-known-good)
+// instead of blocking or failing; formulation actions that overrun are
+// rolled back with a typed error.
+func WithActionDeadline(d time.Duration) Option { return service.WithActionDeadline(d) }
+
+// WithFaultInjection arms deterministic fault injection (latency, typed
+// errors, panics at the verification/cache/index sites) on every action the
+// service evaluates. Chaos testing only; a nil injector is a no-op.
+func WithFaultInjection(in *faultinject.Injector) Option { return service.WithFaultInjection(in) }
+
+// FaultInjector is the deterministic fault injector armed via
+// WithFaultInjection; configure per-site rules with Set.
+type FaultInjector = faultinject.Injector
+
+// FaultRule configures when (per-site hit counter) and how (latency, error,
+// panic) one instrumented site misbehaves.
+type FaultRule = faultinject.Rule
+
+// FaultSite identifies an instrumented hook point (verification, candidate
+// cache, index probes).
+type FaultSite = faultinject.Site
+
+// NewFaultInjector returns an empty injector (no rules armed).
+func NewFaultInjector() *FaultInjector { return faultinject.New() }
+
+// OverloadError is the typed admission rejection: which bound was hit
+// ("global" or "session") and a deterministic retry-after hint. It unwraps
+// to ErrOverloaded.
+type OverloadError = service.OverloadError
+
+// Retry invokes fn with exponential backoff (honoring OverloadError
+// retry-after hints) until it succeeds, a non-transient error occurs, or
+// attempts are exhausted. Only ErrOverloaded and injected faults are
+// retried.
+func Retry(ctx context.Context, attempts int, base time.Duration, fn func() error) error {
+	return service.Retry(ctx, attempts, base, fn)
+}
+
+// RunOutcome is the full ladder outcome of a Run: the ranked results plus
+// the degradation stage, the Truncated flag (set on every answer that may
+// be a subset of the truth), and the count of recovered verification
+// faults. Returned by ManagedSession.RunDetailed.
+type RunOutcome = core.RunOutcome
+
+// DegradeStage names the ladder stage that produced a Run's answer:
+// StageFull, StagePartial, StageSimilarity, or StageCachedGood.
+type DegradeStage = core.DegradeStage
+
+// The ladder stages, in degradation order. Every stage below StageFull is
+// flagged Truncated and sound: true answer-set members with valid distance
+// bounds, never fabrications.
+const (
+	StageFull       = core.StageFull
+	StagePartial    = core.StagePartial
+	StageSimilarity = core.StageSimilarity
+	StageCachedGood = core.StageCachedGood
+)
+
+// Fault-injection sites (see FaultRule / WithFaultInjection).
+const (
+	FaultSiteVerify = faultinject.SiteVerify
+	FaultSiteCache  = faultinject.SiteCache
+	FaultSiteIndex  = faultinject.SiteIndex
+)
 
 // TraceReport is the per-Run SRT breakdown assembled from a traced span
 // tree: phase durations, candidates verified vs. pruned, and candidate-

@@ -1,9 +1,17 @@
 #!/bin/sh
 # One-shot verification gate: static checks, full build, full test suite,
 # and a race-detector pass over the concurrent layers.
+#
+#   ./verify.sh            run the full gate
+#   ./verify.sh covreport  run only the coverage ratchet (scripts/cover.sh)
 set -eux
+
+if [ "${1:-}" = "covreport" ]; then
+	exec sh scripts/cover.sh
+fi
 
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/service/ ./internal/core/ ./internal/candcache/ ./internal/clock/ ./internal/difftest/ ./internal/trace/ ./internal/ops/ ./internal/metrics/ ./internal/workpool/
+go test -race ./internal/service/ ./internal/core/ ./internal/candcache/ ./internal/clock/ ./internal/difftest/ ./internal/trace/ ./internal/ops/ ./internal/metrics/ ./internal/workpool/ ./internal/faultinject/ ./internal/chaostest/
+sh scripts/cover.sh
