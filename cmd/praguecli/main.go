@@ -64,6 +64,7 @@ func main() {
 		traceOn  = flag.Bool("trace", true, "record per-action span trees (SRT breakdowns, slow journal)")
 		slow     = flag.Duration("slow", 0, "slow-journal admission threshold (0 journals every traced action)")
 		opsAddr  = flag.String("ops", "", "serve the ops/debug HTTP surface on this address (e.g. 127.0.0.1:6060)")
+		shards   = flag.Int("shards", 1, "hash-partition the database and indexes into this many shards (1 = monolithic)")
 	)
 	flag.Parse()
 
@@ -102,6 +103,10 @@ func main() {
 	}
 	if *opsAddr != "" {
 		opts = append(opts, prague.WithOpsServer(*opsAddr))
+	}
+	if *shards > 1 {
+		opts = append(opts, prague.WithShards(*shards))
+		fmt.Printf("store: %d shards\n", *shards)
 	}
 	svc, err := prague.NewService(db, idx, opts...)
 	if err != nil {

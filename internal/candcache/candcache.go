@@ -36,6 +36,25 @@ import (
 	"prague/internal/trace"
 )
 
+// Key kinds: the two computations the engine publishes, named in every
+// cache key so a candidate list and a verified containment set of the same
+// fragment never collide.
+const (
+	// KeyCandidates namespaces Algorithm 3 candidate id sets.
+	KeyCandidates = "cand"
+	// KeyContainment namespaces verified exact-containment id sets.
+	KeyContainment = "exact"
+)
+
+// Key builds a cache key from a computation kind, a store-layout tag, and a
+// fragment's canonical code. The tag (store.Store.CacheTag) namespaces
+// entries by database layout: a monolithic store and a sharded store — or
+// two stores with different shard counts — can share one cache without one
+// layout ever serving another's entries.
+func Key(kind, tag, code string) string {
+	return kind + ":" + tag + ":" + code
+}
+
 // numShards spreads keys over independently locked LRUs so concurrent
 // sessions rarely contend on one mutex.
 const numShards = 16

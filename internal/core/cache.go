@@ -8,23 +8,29 @@ import (
 	"prague/internal/graph"
 )
 
-// Cache key namespaces. Both are keyed by a fragment's minimum-DFS canonical
-// code, which identifies the computation completely on an immutable
-// (database, indexes) pair: candKeyPrefix stores the Algorithm 3 candidate
-// id set of a non-indexed fragment, exactKeyPrefix stores the verified
-// containment id set (every data graph the fragment is subgraph-isomorphic
-// to) — the output of the expensive verification pass.
-const (
-	candKeyPrefix  = "cand:"
-	exactKeyPrefix = "exact:"
-)
-
 // SetCandidateCache injects the shared cross-session candidate cache
 // (typically owned by a service multiplexing many sessions over one
 // immutable database). A nil cache restores uncached evaluation. Cached
 // slices are immutable; the engine never mutates candidate lists it did not
 // allocate, so sharing is safe.
+//
+// Keys are namespaced by the store's layout tag (candcache.Key), so sessions
+// over different layouts of the same database — monolithic next to a sharded
+// store, or stores with different shard counts — can share one cache without
+// their entries ever colliding.
 func (e *Engine) SetCandidateCache(c *candcache.Cache) { e.cache = c }
+
+// candKey names a fragment's Algorithm 3 candidate id set in the shared
+// cache; exactKey names its verified containment set. Both are keyed by the
+// fragment's minimum-DFS canonical code, which identifies the computation
+// completely on an immutable (store, indexes) pair.
+func (e *Engine) candKey(code string) string {
+	return candcache.Key(candcache.KeyCandidates, e.st.CacheTag(), code)
+}
+
+func (e *Engine) exactKey(code string) string {
+	return candcache.Key(candcache.KeyContainment, e.st.CacheTag(), code)
+}
 
 // exactContainment returns the ids of data graphs containing frag, verified
 // by full subgraph isomorphism over the sound candidate superset cands.
@@ -37,7 +43,7 @@ func (e *Engine) exactContainment(ctx context.Context, code string, frag *graph.
 	verify := func(ctx context.Context) ([]int, error) {
 		before := e.runFaults.Load()
 		out, err := e.filter(ctx, cands, e.verifyPred(ctx, func(id int) bool {
-			return graph.SubgraphIsomorphic(frag, e.db[id])
+			return graph.SubgraphIsomorphic(frag, e.st.Graph(id))
 		}))
 		if err == nil {
 			// Faulted checks (injected errors, recovered panics) dropped
@@ -55,5 +61,5 @@ func (e *Engine) exactContainment(ctx context.Context, code string, frag *graph.
 	if code == "" {
 		code = graph.CanonicalCode(frag)
 	}
-	return e.cache.Do(ctx, exactKeyPrefix+code, verify)
+	return e.cache.Do(ctx, e.exactKey(code), verify)
 }

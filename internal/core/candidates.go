@@ -2,12 +2,14 @@ package core
 
 import (
 	"context"
+	"sync"
 	"time"
 
 	"prague/internal/faultinject"
 	"prague/internal/index"
 	"prague/internal/intset"
 	"prague/internal/spig"
+	"prague/internal/store"
 	"prague/internal/trace"
 )
 
@@ -59,7 +61,7 @@ func (e *Engine) exactSubCandidates(ctx context.Context, v *spig.Vertex) []int {
 		// action's tree and cache faults still fire under chaos schedules.
 		cctx := trace.ContextWithSpan(context.Background(), trace.SpanFromContext(ctx))
 		cctx = faultinject.With(cctx, faultinject.FromContext(ctx))
-		ids, _ = e.cache.Do(cctx, candKeyPrefix+v.Code,
+		ids, _ = e.cache.Do(cctx, e.candKey(v.Code),
 			func(ctx context.Context) ([]int, error) { return e.computeCandidates(ctx, v), nil })
 	}
 	if e.candMemo == nil {
@@ -69,6 +71,10 @@ func (e *Engine) exactSubCandidates(ctx context.Context, v *spig.Vertex) []int {
 	return ids
 }
 
+// computeCandidates resolves a vertex's candidate list against the store:
+// per shard (concurrently when the store is partitioned) and then merged by
+// ascending graph id. Shard FSG lists partition the monolithic lists, so the
+// merged result is byte-identical to the single-shard computation.
 func (e *Engine) computeCandidates(ctx context.Context, v *spig.Vertex) []int {
 	if sp := trace.SpanFromContext(ctx); sp != nil {
 		t0 := time.Now()
@@ -76,19 +82,45 @@ func (e *Engine) computeCandidates(ctx context.Context, v *spig.Vertex) []int {
 			sp.Record(trace.KindIndexProbe, time.Since(t0), "lists", int64(len(v.Phi)+len(v.Ups)+1))
 		}()
 	}
+	n := e.st.NumShards()
+	if n == 1 {
+		return shardCandidates(e.st.Shard(0), v)
+	}
+	t0 := time.Now()
+	parts := make([][]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			parts[i] = shardCandidates(e.st.Shard(i), v)
+		}(i)
+	}
+	wg.Wait()
+	if sp := trace.SpanFromContext(ctx); sp != nil {
+		sp.Record(trace.KindShardEval, time.Since(t0), "shard_probes", int64(n))
+	}
+	return store.MergeSorted(parts)
+}
+
+// shardCandidates is Algorithm 3's index probe against one shard: the
+// shard-restricted FSG list for indexed vertices, the Υ-then-Φ intersection
+// for NIFs, and the shard's whole id set when no index information exists.
+func shardCandidates(sh store.Shard, v *spig.Vertex) []int {
+	idx := sh.Index()
 	switch v.Kind {
 	case index.KindFrequent:
-		return e.idx.A2F.FSGIds(v.FreqID)
+		return idx.A2F.FSGIds(v.FreqID)
 	case index.KindDIF:
-		return e.idx.A2I.FSGIds(v.DifID)
+		return idx.A2I.FSGIds(v.DifID)
 	}
 	if len(v.Phi) == 0 && len(v.Ups) == 0 {
 		// A NIF with no indexed subgraph information at all. This cannot
 		// happen with the standard indexes (every single edge is frequent
 		// or a DIF, and Υ propagates), but a degraded index — e.g. the
 		// A²I-disabled ablation — can reach here. With no information, the
-		// sound candidate set is the whole database.
-		return e.allIds()
+		// sound candidate set is the whole shard.
+		return sh.GraphIDs()
 	}
 	var rq []int
 	first := true
@@ -103,13 +135,13 @@ func (e *Engine) computeCandidates(ctx context.Context, v *spig.Vertex) []int {
 	// DIFs have the strongest pruning power; intersect them first so the
 	// running set shrinks early.
 	for _, id := range v.Ups {
-		and(e.idx.A2I.FSGIds(id))
+		and(idx.A2I.FSGIds(id))
 	}
 	for _, id := range v.Phi {
 		if len(rq) == 0 && !first {
 			break
 		}
-		and(e.idx.A2F.FSGIds(id))
+		and(idx.A2F.FSGIds(id))
 	}
 	return rq
 }
@@ -117,7 +149,7 @@ func (e *Engine) computeCandidates(ctx context.Context, v *spig.Vertex) []int {
 // allIds returns (and caches) the identifier universe.
 func (e *Engine) allIds() []int {
 	if e.universe == nil {
-		e.universe = make([]int, len(e.db))
+		e.universe = make([]int, e.st.NumGraphs())
 		for i := range e.universe {
 			e.universe[i] = i
 		}

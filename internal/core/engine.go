@@ -17,6 +17,7 @@ import (
 	"prague/internal/intset"
 	"prague/internal/query"
 	"prague/internal/spig"
+	"prague/internal/store"
 	"prague/internal/trace"
 	"prague/internal/workpool"
 )
@@ -70,11 +71,11 @@ type StepOutcome struct {
 	EvalTime    time.Duration
 }
 
-// Engine is a PRAGUE session over one database + index set. It is not safe
-// for concurrent use: it models a single user's formulation session.
+// Engine is a PRAGUE session over one graph store (monolithic or sharded).
+// It is not safe for concurrent use: it models a single user's formulation
+// session.
 type Engine struct {
-	db    []*graph.Graph // data graphs, indexed by identifier
-	idx   *index.Set
+	st    store.Store
 	sigma int
 
 	q       *query.Query
@@ -117,19 +118,34 @@ type SessionStats struct {
 	RunTime          time.Duration   // the SRT: work done after Run is pressed
 }
 
-// New creates an engine for the given database, action-aware indexes, and
-// subgraph distance threshold σ.
+// New creates an engine over the monolithic layout: the given database,
+// action-aware indexes, and subgraph distance threshold σ. The database must
+// be non-empty with dense ids and the index set non-nil; violations return
+// errors wrapping the store sentinels (ErrEmptyDatabase, ErrNilIndex).
 func New(db []*graph.Graph, idx *index.Set, sigma int) (*Engine, error) {
+	st, err := store.NewMem(db, idx)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return NewWithStore(st, sigma)
+}
+
+// NewWithStore creates an engine over an already-constructed graph store —
+// monolithic (store.NewMem) or hash-partitioned (store.NewSharded). Sharded
+// evaluation fans candidate maintenance and verification out per shard and
+// merges deterministically, so results are byte-identical across layouts.
+func NewWithStore(st store.Store, sigma int) (*Engine, error) {
+	if st == nil {
+		return nil, fmt.Errorf("core: nil store: %w", ErrNilIndex)
+	}
 	if sigma < 0 {
 		return nil, fmt.Errorf("core: σ = %d: %w", sigma, ErrNegativeSigma)
 	}
-	for i, g := range db {
-		if g.ID != i {
-			return nil, fmt.Errorf("core: data graph at position %d has id %d (ids must be dense)", i, g.ID)
-		}
-	}
-	return &Engine{db: db, idx: idx, sigma: sigma, q: query.New(), spigs: spig.NewSet(idx)}, nil
+	return &Engine{st: st, sigma: sigma, q: query.New(), spigs: spig.NewSet(st)}, nil
 }
+
+// Store returns the graph store the engine evaluates against.
+func (e *Engine) Store() store.Store { return e.st }
 
 // Sigma returns the engine's subgraph distance threshold.
 func (e *Engine) Sigma() int { return e.sigma }

@@ -1,11 +1,20 @@
 package core
 
-import "errors"
+import (
+	"errors"
+
+	"prague/internal/store"
+)
 
 // Sentinel errors for the engine's failure modes. They are wrapped with
 // context via %w at each return site and re-exported by the public prague
 // package, so callers test with errors.Is instead of string-matching.
 var (
+	// ErrEmptyDatabase: the engine needs at least one data graph. Shared
+	// with the store constructors, so errors.Is works across layers.
+	ErrEmptyDatabase = store.ErrEmptyDatabase
+	// ErrNilIndex: the engine needs a built index set (or store).
+	ErrNilIndex = store.ErrNilIndex
 	// ErrEmptyQuery: the action needs a query with at least one edge.
 	ErrEmptyQuery = errors.New("empty query")
 	// ErrAwaitingChoice: the exact candidate set is empty and the session

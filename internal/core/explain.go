@@ -30,14 +30,14 @@ type Match struct {
 // must be within the engine's σ (or contain the query exactly); otherwise an
 // error is returned.
 func (e *Engine) Explain(graphID int) (*Match, error) {
-	if graphID < 0 || graphID >= len(e.db) {
+	if graphID < 0 || graphID >= e.st.NumGraphs() {
 		return nil, fmt.Errorf("core: no data graph %d: %w", graphID, ErrGraphNotFound)
 	}
 	n := e.q.Size()
 	if n == 0 {
 		return nil, fmt.Errorf("core: explain: %w", ErrEmptyQuery)
 	}
-	g := e.db[graphID]
+	g := e.st.Graph(graphID)
 	lo := n - e.sigma
 	if lo < 1 {
 		lo = 1

@@ -59,7 +59,7 @@ func (e *Engine) similarResultsGen(ctx context.Context, qg *graph.Graph) ([]Resu
 		} else {
 			frags := e.levelFragments(i)
 			confirmed, err = e.filter(ctx, pending, e.verifyPred(ctx, func(id int) bool {
-				return containsAnyFragment(frags, e.db[id])
+				return containsAnyFragment(frags, e.st.Graph(id))
 			}))
 		}
 		for _, id := range confirmed {
@@ -72,7 +72,7 @@ func (e *Engine) similarResultsGen(ctx context.Context, qg *graph.Graph) ([]Resu
 	// their distance is exactly |q| (δ = 0). They form the trailing band of
 	// the ranking.
 	if ctxErr == nil && e.sigma >= n {
-		for id := range e.db {
+		for id := 0; id < e.st.NumGraphs(); id++ {
 			if _, done := assigned[id]; !done {
 				assigned[id] = n
 			}

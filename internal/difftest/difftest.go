@@ -1,8 +1,11 @@
 // Package difftest is the differential correctness harness: it generates
 // random labeled databases and random edit scripts, drives the PRAGUE engine
-// through each script twice — once with the shared candidate cache enabled
-// and once without — and requires every Run answer to be set-equal to the
-// index-free naivescan oracle (Definition 3 by construction).
+// through each script four times — monolithic and hash-sharded stores, each
+// with the shared candidate cache enabled and disabled — and requires every
+// Run answer to be set-equal to the index-free naivescan oracle (Definition 3
+// by construction). On top of the oracle check, the sharded variants must be
+// byte-identical to their monolithic twins (same mode, same ids, same
+// distances, same order): sharding is a layout choice, never a semantic one.
 //
 // The two variants are deliberately allowed to diverge in *mode*: a cached
 // NIF candidate list published by an earlier script can be a different sound
@@ -27,6 +30,7 @@ import (
 	"prague/internal/index"
 	"prague/internal/mining"
 	"prague/internal/naivescan"
+	"prague/internal/store"
 )
 
 // Config sizes a differential run. The zero value is not runnable; start
@@ -60,7 +64,13 @@ func Run(tb testing.TB, cfg Config) int {
 	for d := 0; d < cfg.Databases; d++ {
 		seed := cfg.Seed + int64(d)*7919
 		db, idx := randomDatabase(tb, seed, cfg.DBSize)
-		oracle, err := naivescan.New(db, cfg.OracleWorkers)
+		sharded, err := store.NewSharded(db, idx, 4)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		// The oracle scans the sharded store's graphs (in shard order), so a
+		// wrong shard assignment would poison the ground truth and fail loudly.
+		oracle, err := naivescan.NewFromStore(sharded, cfg.OracleWorkers)
 		if err != nil {
 			tb.Fatal(err)
 		}
@@ -68,7 +78,7 @@ func Run(tb testing.TB, cfg Config) int {
 		if cache == nil {
 			tb.Fatalf("difftest: cache budget %d produced no cache", cfg.CacheBytes)
 		}
-		h := &harness{tb: tb, db: db, idx: idx, oracle: oracle, cache: cache, sigma: cfg.Sigma}
+		h := &harness{tb: tb, db: db, idx: idx, st: sharded, oracle: oracle, cache: cache, sigma: cfg.Sigma}
 		for s := 0; s < cfg.Scripts; s++ {
 			h.runScript(rand.New(rand.NewSource(seed + int64(s) + 1)))
 		}
@@ -123,40 +133,59 @@ type harness struct {
 	tb     testing.TB
 	db     []*graph.Graph
 	idx    *index.Set
+	st     store.Store // 4-way sharded layout of (db, idx)
 	oracle *naivescan.Engine
 	cache  *candcache.Cache
 	sigma  int
 	cases  int
 }
 
-var variantNames = [2]string{"cache-off", "cache-on"}
+// Variant layout: even indices run uncached, odd indices share the cache;
+// the back pair evaluates on the sharded store. twinOf maps each sharded
+// variant to the monolithic variant it must answer byte-identically to.
+var variantNames = [4]string{"cache-off", "cache-on", "shard-off", "shard-on"}
+
+func twinOf(i int) int { return i - 2 }
 
 // runScript drives one random edit script through both engine variants in
 // lockstep. Structural validity (duplicate edges, disconnecting deletes) is
 // identical across variants because both hold the same query graph, so both
 // must accept or reject every operation together.
 func (h *harness) runScript(r *rand.Rand) {
-	off, err := core.New(h.db, h.idx, h.sigma)
-	if err != nil {
-		h.tb.Fatal(err)
+	var engines [4]*core.Engine
+	for i := range engines {
+		var (
+			e   *core.Engine
+			err error
+		)
+		if i < 2 {
+			e, err = core.New(h.db, h.idx, h.sigma)
+		} else {
+			e, err = core.NewWithStore(h.st, h.sigma)
+		}
+		if err != nil {
+			h.tb.Fatal(err)
+		}
+		if i%2 == 1 {
+			// One cache for both layouts: the store's cache tag namespaces
+			// the keys, so monolithic and sharded entries never collide.
+			e.SetCandidateCache(h.cache)
+		}
+		engines[i] = e
 	}
-	on, err := core.New(h.db, h.idx, h.sigma)
-	if err != nil {
-		h.tb.Fatal(err)
-	}
-	on.SetCandidateCache(h.cache)
-	engines := [2]*core.Engine{off, on}
+	off := engines[0]
 
 	var nodes []int
 	addNode := func() int {
 		label := nodeLabels[r.Intn(len(nodeLabels))]
-		idOff := off.AddNode(label)
-		idOn := on.AddNode(label)
-		if idOff != idOn {
-			h.tb.Fatalf("difftest: node ids diverged: %d vs %d", idOff, idOn)
+		id := off.AddNode(label)
+		for _, e := range engines[1:] {
+			if got := e.AddNode(label); got != id {
+				h.tb.Fatalf("difftest: node ids diverged: %d vs %d", got, id)
+			}
 		}
-		nodes = append(nodes, idOff)
-		return idOff
+		nodes = append(nodes, id)
+		return id
 	}
 	addNode()
 	addNode()
@@ -215,8 +244,8 @@ func (h *harness) runScript(r *rand.Rand) {
 
 // applyBoth applies one formulation action to both variants, requires them
 // to agree on acceptance, and resolves the empty-Rq choice per variant.
-func (h *harness) applyBoth(engines [2]*core.Engine, what string, action func(e *core.Engine) (core.StepOutcome, error)) {
-	var errs [2]error
+func (h *harness) applyBoth(engines [4]*core.Engine, what string, action func(e *core.Engine) (core.StepOutcome, error)) {
+	var errs [4]error
 	for i, e := range engines {
 		out, err := action(e)
 		errs[i] = err
@@ -224,14 +253,22 @@ func (h *harness) applyBoth(engines [2]*core.Engine, what string, action func(e 
 			e.ChooseSimilarity()
 		}
 	}
-	if (errs[0] == nil) != (errs[1] == nil) {
-		h.tb.Fatalf("difftest: %s acceptance diverged: cache-off err=%v, cache-on err=%v", what, errs[0], errs[1])
+	for i := 1; i < len(errs); i++ {
+		if (errs[0] == nil) != (errs[i] == nil) {
+			h.tb.Fatalf("difftest: %s acceptance diverged: %s err=%v, %s err=%v",
+				what, variantNames[0], errs[0], variantNames[i], errs[i])
+		}
 	}
 }
 
 // check runs both variants and compares each against the oracle that matches
 // its own final mode. Queries that emptied completely are skipped.
-func (h *harness) check(engines [2]*core.Engine) {
+func (h *harness) check(engines [4]*core.Engine) {
+	var (
+		results [4][]core.Result
+		simMode [4]bool
+		ran     [4]bool
+	)
 	for i, e := range engines {
 		if e.Query().Size() == 0 {
 			continue
@@ -269,6 +306,26 @@ func (h *harness) check(engines [2]*core.Engine) {
 				}
 			}
 		}
+		results[i], simMode[i], ran[i] = got, e.SimilarityMode(), true
 		h.cases++
+	}
+	// Layout must be invisible: each sharded variant answers byte-identically
+	// to its monolithic twin, down to the mode it ended in.
+	for i := 2; i < len(engines); i++ {
+		j := twinOf(i)
+		if ran[i] != ran[j] || simMode[i] != simMode[j] {
+			h.tb.Fatalf("difftest: %s ran=%v sim=%v, twin %s ran=%v sim=%v",
+				variantNames[i], ran[i], simMode[i], variantNames[j], ran[j], simMode[j])
+		}
+		if len(results[i]) != len(results[j]) {
+			h.tb.Fatalf("difftest: %s returned %d results, twin %s %d",
+				variantNames[i], len(results[i]), variantNames[j], len(results[j]))
+		}
+		for k := range results[i] {
+			if results[i][k] != results[j][k] {
+				h.tb.Fatalf("difftest: %s result %d is %+v, twin %s has %+v",
+					variantNames[i], k, results[i][k], variantNames[j], results[j][k])
+			}
+		}
 	}
 }

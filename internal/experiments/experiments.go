@@ -96,7 +96,7 @@ func Names() []string {
 	return []string{
 		"table2", "fig9a", "fig9be", "fig9fi", "fig9j",
 		"table3", "table4", "fig10a", "fig10be", "table5",
-		"latency", "candcache", "trace", "chaos",
+		"latency", "candcache", "trace", "chaos", "shard",
 		"ablation-sequence", "ablation-freever", "ablation-dif", "ablation-beta",
 	}
 }
@@ -130,6 +130,8 @@ func (s *Suite) Run(name string) error {
 		return s.CandCache()
 	case "trace":
 		return s.Trace()
+	case "shard":
+		return s.Shard()
 	case "chaos":
 		return s.Chaos()
 	case "ablation-sequence":

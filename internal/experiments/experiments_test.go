@@ -49,7 +49,7 @@ func TestNamesStable(t *testing.T) {
 	// RunAll (exercised by TestSuiteSmoke) iterates Names(), so every name
 	// is known to dispatch; here we only pin the published list.
 	names := Names()
-	if len(names) != 18 {
+	if len(names) != 19 {
 		t.Errorf("experiment list changed: %v", names)
 	}
 	seen := map[string]bool{}

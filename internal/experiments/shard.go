@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"prague/internal/core"
+	"prague/internal/store"
+	"prague/internal/workload"
+)
+
+// Shard demonstrates the sharded graph store: the database and its
+// action-aware indexes are hash-partitioned into n shards whose index
+// slices are built concurrently, and evaluation fans out per shard with a
+// deterministic merge. For each layout it reports the partition build
+// phases (sequential delta-split vs concurrent per-shard construction) and
+// the Run SRT of the worst-case similarity query, and asserts the answers
+// are byte-identical to the monolithic layout. Build-time speedup needs a
+// multi-core runner; answer identity holds everywhere.
+func (s *Suite) Shard() error {
+	if err := s.ensureAIDSQueries(); err != nil {
+		return err
+	}
+	wq := s.aidsQueries[1] // worst-case pick, like the SRT figures
+	s.header("Sharded store: partition build time and Run SRT vs shard count (AIDS-like)")
+	s.printf("gomaxprocs=%d; answers are checked byte-identical across layouts\n", runtime.GOMAXPROCS(0))
+	s.printf("%-9s %12s %12s %10s %9s\n", "shards", "split(ms)", "build(ms)", "SRT(ms)", "results")
+
+	var baseline []core.Result
+	for _, n := range []int{1, 4, 8} {
+		var (
+			st    store.Store
+			stats string
+			err   error
+		)
+		if n == 1 {
+			st, err = store.NewMem(s.aidsDB, s.aidsIdx)
+			stats = fmt.Sprintf("%12s %12s", "-", "-")
+		} else {
+			var sh *store.Sharded
+			sh, err = store.NewSharded(s.aidsDB, s.aidsIdx, n)
+			if err == nil {
+				b := sh.BuildStats()
+				stats = fmt.Sprintf("%12.3f %12.3f", ms(b.SplitTime), ms(b.BuildTime))
+				st = sh
+			}
+		}
+		if err != nil {
+			return err
+		}
+		results, srt, err := shardRunOnce(st, wq, s.cfg.Sigma)
+		if err != nil {
+			return err
+		}
+		if baseline == nil {
+			baseline = results
+		} else if err := sameResults(baseline, results); err != nil {
+			return fmt.Errorf("experiments: shards=%d diverged from monolithic: %w", n, err)
+		}
+		s.printf("%-9d %s %10.3f %9d\n", n, stats, ms(srt), len(results))
+	}
+	s.printf("(split = sequential FSG delta-split prologue; build = concurrent per-shard index construction)\n")
+	return nil
+}
+
+// shardRunOnce formulates wq on a fresh engine over st and times Run only
+// (the SRT), like the session harness does.
+func shardRunOnce(st store.Store, wq workload.Query, sigma int) ([]core.Result, time.Duration, error) {
+	e, err := core.NewWithStore(st, sigma)
+	if err != nil {
+		return nil, 0, err
+	}
+	ids := make([]int, len(wq.NodeLabels))
+	for i, l := range wq.NodeLabels {
+		ids[i] = e.AddNode(l)
+	}
+	for _, ed := range wq.Edges {
+		out, err := e.AddEdge(ids[ed[0]], ids[ed[1]])
+		if err != nil {
+			return nil, 0, err
+		}
+		if out.NeedsChoice {
+			e.ChooseSimilarity()
+		}
+	}
+	t0 := time.Now()
+	results, err := e.Run()
+	return results, time.Since(t0), err
+}
+
+func sameResults(a, b []core.Result) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("%d results vs %d", len(b), len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Errorf("result %d is %+v vs %+v", i, b[i], a[i])
+		}
+	}
+	return nil
+}

@@ -60,6 +60,11 @@ const (
 	CounterBudgetExhausted  = "run_budget_exhausted"     // Runs with nothing to serve on any rung
 	CounterVerifyFaultTotal = "verify_faults_total"      // candidate checks dropped by faults
 
+	// Shard topology gauges (set once at service construction).
+	CounterShardCount     = "shard_count"      // number of store shards (1 = monolithic)
+	CounterShardGraphsMin = "shard_graphs_min" // smallest shard's graph count
+	CounterShardGraphsMax = "shard_graphs_max" // largest shard's graph count
+
 	// Histograms (durations).
 	HistSpigBuild    = "spig_build"   // SPIG construction per formulation step
 	HistStepEval     = "step_eval"    // candidate maintenance per formulation step
@@ -83,6 +88,10 @@ func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds delta (which may be negative).
 func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Set overwrites the value, turning the counter into a plain gauge (used for
+// topology facts fixed at construction, e.g. shard_count).
+func (c *Counter) Set(v int64) { c.v.Store(v) }
 
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }

@@ -14,6 +14,7 @@ import (
 
 	"prague/internal/graph"
 	"prague/internal/simverify"
+	"prague/internal/store"
 )
 
 // Engine scans a database without any index.
@@ -37,6 +38,21 @@ func New(db []*graph.Graph, workers int) (*Engine, error) {
 		workers = 1
 	}
 	return &Engine{db: db, workers: workers}, nil
+}
+
+// NewFromStore creates a scan engine over every graph owned by the store's
+// shards, in shard order. The scan itself stays layout-independent — results
+// are sorted by distance then id regardless of how the store partitions the
+// database — which is exactly what makes it a fair oracle for sharded
+// engines.
+func NewFromStore(st store.Store, workers int) (*Engine, error) {
+	var db []*graph.Graph
+	for i := 0; i < st.NumShards(); i++ {
+		for _, id := range st.Shard(i).GraphIDs() {
+			db = append(db, st.Graph(id))
+		}
+	}
+	return New(db, workers)
 }
 
 // Containment returns the ids of data graphs containing q, by scanning.

@@ -28,6 +28,7 @@ import (
 	"prague/internal/index"
 	"prague/internal/metrics"
 	"prague/internal/ops"
+	"prague/internal/store"
 	"prague/internal/trace"
 	"prague/internal/workpool"
 )
@@ -63,6 +64,12 @@ type Options struct {
 	CandCache     int64
 	Metrics       *metrics.Registry
 	Clock         clock.Clock
+
+	// Store layout: an explicit pre-built store wins; otherwise Shards > 1
+	// hash-partitions the database at construction; otherwise the store is
+	// monolithic.
+	Store  store.Store
+	Shards int
 
 	Trace         bool          // record per-action span trees
 	SlowThreshold time.Duration // slow-journal admission threshold
@@ -107,6 +114,18 @@ func WithCandidateCache(bytes int64) Option { return func(o *Options) { o.CandCa
 // WithClock overrides the time source (tests inject a clock.Fake so
 // TTL/idle-eviction behaviour is deterministic).
 func WithClock(c clock.Clock) Option { return func(o *Options) { o.Clock = c } }
+
+// WithStore serves sessions from a pre-built graph store (e.g. a sharded
+// store loaded from its persisted per-shard layout). The db and idx
+// arguments of New are ignored; the store must not be mutated afterwards.
+func WithStore(st store.Store) Option { return func(o *Options) { o.Store = st } }
+
+// WithShards hash-partitions the database and its action-aware indexes into
+// n shards at construction; candidate enumeration and verification then fan
+// out per shard and merge deterministically, so results are byte-identical
+// to the monolithic layout. n ≤ 1 keeps the monolithic store (the default).
+// Ignored when WithStore supplies a store directly.
+func WithShards(n int) Option { return func(o *Options) { o.Shards = n } }
 
 // WithTracing enables (or disables) per-action structured tracing: every
 // AddEdge/DeleteEdge/Run records a span tree of its evaluation phases, SRT
@@ -165,8 +184,7 @@ func withJanitorHook(fn func(evicted int)) Option {
 // Service serves concurrent formulation sessions over one immutable
 // database + index pair. All methods are safe for concurrent use.
 type Service struct {
-	db     []*graph.Graph
-	idx    *index.Set
+	st     store.Store
 	opt    Options
 	pool   *workpool.Pool
 	reg    *metrics.Registry
@@ -198,9 +216,16 @@ func New(db []*graph.Graph, idx *index.Set, opts ...Option) (*Service, error) {
 	if opt.Sigma < 0 {
 		return nil, fmt.Errorf("service: σ = %d: %w", opt.Sigma, core.ErrNegativeSigma)
 	}
-	for i, g := range db {
-		if g == nil || g.ID != i {
-			return nil, fmt.Errorf("service: data graph at position %d must have dense id %d", i, i)
+	st := opt.Store
+	if st == nil {
+		var err error
+		if opt.Shards > 1 {
+			st, err = store.NewSharded(db, idx, opt.Shards)
+		} else {
+			st, err = store.NewMem(db, idx)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("service: %w", err)
 		}
 	}
 	reg := opt.Metrics
@@ -212,8 +237,7 @@ func New(db []*graph.Graph, idx *index.Set, opts ...Option) (*Service, error) {
 		clk = clock.Real{}
 	}
 	s := &Service{
-		db:       db,
-		idx:      idx,
+		st:       st,
 		opt:      opt,
 		pool:     workpool.New(opt.VerifyWorkers),
 		reg:      reg,
@@ -221,6 +245,17 @@ func New(db []*graph.Graph, idx *index.Set, opts ...Option) (*Service, error) {
 		cache:    candcache.New(opt.CandCache, reg),
 		sessions: map[string]*Session{},
 	}
+	reg.Counter(metrics.CounterShardCount).Set(int64(st.NumShards()))
+	minG, maxG := st.Shard(0).NumGraphs(), st.Shard(0).NumGraphs()
+	for i := 1; i < st.NumShards(); i++ {
+		if n := st.Shard(i).NumGraphs(); n < minG {
+			minG = n
+		} else if n > maxG {
+			maxG = n
+		}
+	}
+	reg.Counter(metrics.CounterShardGraphsMin).Set(int64(minG))
+	reg.Counter(metrics.CounterShardGraphsMax).Set(int64(maxG))
 	if opt.Trace {
 		s.tracer = trace.New(trace.Options{
 			Enabled:       true,
@@ -319,6 +354,10 @@ func (s *Service) OpsAddr() string { return s.ops.Addr() }
 // when caching is disabled.
 func (s *Service) CandidateCache() *candcache.Cache { return s.cache }
 
+// Store returns the graph store sessions evaluate against (monolithic
+// unless constructed with WithShards or WithStore).
+func (s *Service) Store() store.Store { return s.st }
+
 // Snapshot captures the current metrics.
 func (s *Service) Snapshot() metrics.Snapshot { return s.reg.Snapshot() }
 
@@ -338,7 +377,7 @@ func (s *Service) Create(ctx context.Context) (*Session, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("service: create: %w", err)
 	}
-	eng, err := core.New(s.db, s.idx, s.opt.Sigma)
+	eng, err := core.NewWithStore(s.st, s.opt.Sigma)
 	if err != nil {
 		return nil, fmt.Errorf("service: create: %w", err)
 	}

@@ -1,0 +1,87 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"prague/internal/metrics"
+	"prague/internal/store"
+)
+
+// TestWithShards runs a small session fleet against a 4-way sharded service
+// and checks the topology gauges and the store accessor. Result correctness
+// across layouts is difftest's job; this pins the service wiring.
+func TestWithShards(t *testing.T) {
+	db, idx := smallFixture(t)
+	reg := metrics.NewRegistry()
+	svc, err := New(db, idx,
+		WithShards(4), WithSigma(2), WithSessionTTL(0), WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	st := svc.Store()
+	if st.NumShards() != 4 {
+		t.Fatalf("NumShards = %d", st.NumShards())
+	}
+	if got := reg.Counter(metrics.CounterShardCount).Value(); got != 4 {
+		t.Errorf("shard_count gauge = %d", got)
+	}
+	minG := reg.Counter(metrics.CounterShardGraphsMin).Value()
+	maxG := reg.Counter(metrics.CounterShardGraphsMax).Value()
+	if minG <= 0 || maxG < minG || maxG > int64(len(db)) {
+		t.Errorf("shard graph gauges min=%d max=%d (db %d)", minG, maxG, len(db))
+	}
+
+	ctx := context.Background()
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 6; i++ {
+		if err := formulateAndRun(ctx, svc, r); err != nil {
+			t.Fatalf("session %d: %v", i, err)
+		}
+	}
+}
+
+// TestWithStore injects a pre-built store and checks it is served as-is;
+// a monolithic default service reports one shard.
+func TestWithStore(t *testing.T) {
+	db, idx := smallFixture(t)
+	pre, err := store.NewSharded(db, idx, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := New(nil, nil, WithStore(pre), WithSessionTTL(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if svc.Store() != pre {
+		t.Error("injected store not served")
+	}
+
+	mono, err := New(db, idx, WithSessionTTL(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mono.Close()
+	if mono.Store().NumShards() != 1 {
+		t.Errorf("default store has %d shards", mono.Store().NumShards())
+	}
+	if _, err := New(nil, idx); !errors.Is(err, store.ErrEmptyDatabase) {
+		t.Errorf("New(empty db) = %v, want ErrEmptyDatabase", err)
+	}
+	for _, n := range []int{0, -2} {
+		s, err := New(db, idx, WithShards(n), WithSessionTTL(0))
+		if err != nil {
+			t.Errorf("WithShards(%d) should fall back to monolithic, got %v", n, err)
+			continue
+		}
+		if s.Store().NumShards() != 1 {
+			t.Errorf("WithShards(%d) produced %d shards", n, s.Store().NumShards())
+		}
+		s.Close()
+	}
+}

@@ -112,15 +112,24 @@ func (s *SPIG) NumVertices() int {
 	return n
 }
 
+// Classifier is the one index capability SPIG construction needs: mapping a
+// fragment's canonical code to its action-aware classification. *index.Set
+// satisfies it, and so does any graph store whose layout keeps the fragment
+// vocabulary intact (every shard of a partitioned store classifies
+// identically, so SPIGs are layout-independent).
+type Classifier interface {
+	Lookup(code string) (index.Kind, int)
+}
+
 // Set is the SPIG set S maintained across formulation steps.
 type Set struct {
 	spigs map[int]*SPIG
 	order []int // ascending ℓ
-	idx   *index.Set
+	idx   Classifier
 }
 
 // NewSet returns an empty SPIG set bound to the action-aware indexes.
-func NewSet(idx *index.Set) *Set {
+func NewSet(idx Classifier) *Set {
 	return &Set{spigs: map[int]*SPIG{}, idx: idx}
 }
 

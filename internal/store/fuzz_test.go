@@ -1,0 +1,57 @@
+package store
+
+import (
+	"testing"
+
+	"prague/internal/intset"
+)
+
+// FuzzShardMerge checks the two properties the sharded evaluation path
+// relies on: MergeSorted is independent of shard order (so concurrent
+// per-shard completion order can never leak into results) and duplicate-free
+// (so overlapping candidate lists collapse exactly once). Inputs decode a
+// byte stream into up to 8 sorted parts.
+func FuzzShardMerge(f *testing.F) {
+	f.Add([]byte{}, uint8(1))
+	f.Add([]byte{3, 1, 4, 1, 5, 9, 2, 6}, uint8(3))
+	f.Add([]byte{0, 0, 0, 255, 255, 7, 7}, uint8(8))
+	f.Fuzz(func(t *testing.T, data []byte, nparts uint8) {
+		n := int(nparts%8) + 1
+		parts := make([][]int, n)
+		var all []int
+		for i, b := range data {
+			id := int(b) // ids 0..255; duplicates across parts are fine
+			parts[i%n] = append(parts[i%n], id)
+			all = append(all, id)
+		}
+		for i := range parts {
+			parts[i] = intset.Normalize(parts[i])
+		}
+		want := intset.Normalize(all)
+		got := MergeSorted(parts)
+		if len(got) == 0 && len(want) == 0 {
+			return
+		}
+		if !intset.Equal(got, want) {
+			t.Fatalf("merge = %v, want normalized union %v", got, want)
+		}
+		// Sorted and duplicate-free.
+		for i := 1; i < len(got); i++ {
+			if got[i-1] >= got[i] {
+				t.Fatalf("merge not strictly ascending at %d: %v", i, got)
+			}
+		}
+		// Shard order independence: rotate and reverse the parts.
+		rot := append(append([][]int{}, parts[1:]...), parts[0])
+		if !intset.Equal(MergeSorted(rot), want) {
+			t.Fatalf("merge depends on part rotation")
+		}
+		rev := make([][]int, n)
+		for i := range parts {
+			rev[n-1-i] = parts[i]
+		}
+		if !intset.Equal(MergeSorted(rev), want) {
+			t.Fatalf("merge depends on part order")
+		}
+	})
+}

@@ -1,0 +1,72 @@
+package store
+
+import (
+	"fmt"
+
+	"prague/internal/graph"
+	"prague/internal/index"
+)
+
+// Mem is the monolithic store: one flat graph slice and one shared index
+// set — exactly the layout the engine was originally built around. It is its
+// own single shard, so shard-generic callers need no special case.
+type Mem struct {
+	db  []*graph.Graph
+	idx *index.Set
+	ids []int // cached 0..len(db)-1
+}
+
+// NewMem wraps a database and its indexes as a single-shard store.
+func NewMem(db []*graph.Graph, idx *index.Set) (*Mem, error) {
+	if err := Validate(db, idx); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	ids := make([]int, len(db))
+	for i := range ids {
+		ids[i] = i
+	}
+	return &Mem{db: db, idx: idx, ids: ids}, nil
+}
+
+// LoadMem loads a persisted monolithic index layout (one index.Save
+// directory) over the given database.
+func LoadMem(db []*graph.Graph, dir string) (*Mem, error) {
+	idx, err := index.Load(dir)
+	if err != nil {
+		return nil, err
+	}
+	return NewMem(db, idx)
+}
+
+// NumGraphs returns the database size.
+func (m *Mem) NumGraphs() int { return len(m.db) }
+
+// Graph returns the data graph with the given identifier.
+func (m *Mem) Graph(id int) *graph.Graph { return m.db[id] }
+
+// Lookup classifies a canonical code against the indexes.
+func (m *Mem) Lookup(code string) (index.Kind, int) { return m.idx.Lookup(code) }
+
+// NumShards is 1: the monolithic layout is a single partition.
+func (m *Mem) NumShards() int { return 1 }
+
+// Shard returns the store itself: Mem is its own only shard.
+func (m *Mem) Shard(i int) Shard { return m }
+
+// ShardOf is always 0.
+func (m *Mem) ShardOf(graphID int) int { return 0 }
+
+// CacheTag identifies the monolithic layout in shared-cache keys.
+func (m *Mem) CacheTag() string { return "m" }
+
+// Save persists the index set (the classic single-directory layout).
+func (m *Mem) Save(dir string) error { return m.idx.Save(dir) }
+
+// ID implements Shard.
+func (m *Mem) ID() int { return 0 }
+
+// GraphIDs returns 0..NumGraphs-1. The slice is owned by the store.
+func (m *Mem) GraphIDs() []int { return m.ids }
+
+// Index returns the shared index set.
+func (m *Mem) Index() *index.Set { return m.idx }

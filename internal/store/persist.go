@@ -1,0 +1,96 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"prague/internal/graph"
+	"prague/internal/index"
+)
+
+// Sharded persistence layout: one directory holding a manifest plus one
+// classic index.Save directory per shard.
+//
+//	dir/
+//	  shards.json      {"version":1,"scheme":"splitmix64-mod","shards":N,"num_graphs":M}
+//	  shard-000/       a2f.gob, df.dat, a2i.gob   (index.Save layout)
+//	  shard-001/
+//	  ...
+
+const manifestFile = "shards.json"
+
+// manifestScheme names the graph-id → shard assignment; a layout saved under
+// a different scheme must not be silently reinterpreted.
+const manifestScheme = "splitmix64-mod"
+
+type manifest struct {
+	Version   int    `json:"version"`
+	Scheme    string `json:"scheme"`
+	Shards    int    `json:"shards"`
+	NumGraphs int    `json:"num_graphs"`
+}
+
+func shardDir(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%03d", i))
+}
+
+// Save persists the sharded index layout into dir (created if needed).
+func (s *Sharded) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	m := manifest{Version: 1, Scheme: manifestScheme, Shards: len(s.shards), NumGraphs: len(s.db)}
+	buf, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestFile), append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	for i, sh := range s.shards {
+		if err := sh.idx.Save(shardDir(dir, i)); err != nil {
+			return fmt.Errorf("store: saving shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// LoadSharded reconstructs a sharded store from a persisted layout over the
+// given database. The manifest must match the database size and the hash
+// scheme this build uses; per-shard graph-id assignments are re-derived
+// (they are a pure function of id and shard count).
+func LoadSharded(db []*graph.Graph, dir string) (*Sharded, error) {
+	buf, err := os.ReadFile(filepath.Join(dir, manifestFile))
+	if err != nil {
+		return nil, err
+	}
+	var m manifest
+	if err := json.Unmarshal(buf, &m); err != nil {
+		return nil, fmt.Errorf("store: %s: %w", manifestFile, err)
+	}
+	if m.Scheme != manifestScheme {
+		return nil, fmt.Errorf("store: layout scheme %q, this build uses %q: %w",
+			m.Scheme, manifestScheme, ErrManifestMismatch)
+	}
+	if m.Shards < 1 {
+		return nil, fmt.Errorf("store: manifest shard count %d: %w", m.Shards, ErrBadShardCount)
+	}
+	if m.NumGraphs != len(db) {
+		return nil, fmt.Errorf("store: layout built over %d graphs, database has %d: %w",
+			m.NumGraphs, len(db), ErrManifestMismatch)
+	}
+	if len(db) == 0 {
+		return nil, fmt.Errorf("store: %w", ErrEmptyDatabase)
+	}
+	sets := make([]*index.Set, m.Shards)
+	for i := range sets {
+		set, err := index.Load(shardDir(dir, i))
+		if err != nil {
+			return nil, fmt.Errorf("store: loading shard %d: %w", i, err)
+		}
+		sets[i] = set
+	}
+	return assemble(db, sets, index.PartitionStats{})
+}

@@ -1,0 +1,110 @@
+package store
+
+import (
+	"fmt"
+
+	"prague/internal/graph"
+	"prague/internal/index"
+)
+
+// Sharded hash-partitions the database into n shards, each owning its own
+// A²F/A²I index restricted to the shard's graphs (built concurrently by
+// index.PartitionSets). The full graph slice stays addressable by global id;
+// only the index layout is partitioned. Every shard keeps the complete
+// fragment vocabulary, so classification is identical to the monolithic
+// layout and merged per-shard candidate lists reconstruct the monolithic
+// lists exactly.
+type Sharded struct {
+	db     []*graph.Graph
+	shards []*shard
+	stats  index.PartitionStats
+}
+
+type shard struct {
+	id  int
+	ids []int // global graph ids, ascending
+	idx *index.Set
+}
+
+func (s *shard) ID() int           { return s.id }
+func (s *shard) NumGraphs() int    { return len(s.ids) }
+func (s *shard) GraphIDs() []int   { return s.ids }
+func (s *shard) Index() *index.Set { return s.idx }
+
+// shardOf is the deterministic graph-id → shard assignment: a 64-bit finalizer
+// mix (splitmix64) mod n. It is a pure function of (id, n), so assignments
+// are stable across processes and a persisted layout can be re-derived.
+func shardOf(id, n int) int {
+	x := uint64(id)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return int(x % uint64(n))
+}
+
+// NewSharded partitions the database and its built indexes into n shards.
+// n == 1 yields a degenerate but valid single-shard layout (useful as the
+// baseline in shard-scaling benchmarks). Shards left empty by the hash
+// assignment are legal: their index sets carry the vocabulary with empty
+// FSG lists.
+func NewSharded(db []*graph.Graph, idx *index.Set, n int) (*Sharded, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("store: %d shards: %w", n, ErrBadShardCount)
+	}
+	if err := Validate(db, idx); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	sets, stats, err := index.PartitionSets(idx, n, func(id int) int { return shardOf(id, n) })
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return assemble(db, sets, stats)
+}
+
+// assemble builds the Sharded from per-shard index sets, deriving each
+// shard's graph-id list from the hash assignment.
+func assemble(db []*graph.Graph, sets []*index.Set, stats index.PartitionStats) (*Sharded, error) {
+	n := len(sets)
+	s := &Sharded{db: db, stats: stats}
+	byShard := make([][]int, n)
+	for id := range db {
+		si := shardOf(id, n)
+		byShard[si] = append(byShard[si], id) // ascending by construction
+	}
+	for i, set := range sets {
+		if set.NumGraphs != len(byShard[i]) {
+			return nil, fmt.Errorf("store: shard %d indexes %d graphs but owns %d: %w",
+				i, set.NumGraphs, len(byShard[i]), ErrManifestMismatch)
+		}
+		s.shards = append(s.shards, &shard{id: i, ids: byShard[i], idx: set})
+	}
+	return s, nil
+}
+
+// NumGraphs returns the total database size across shards.
+func (s *Sharded) NumGraphs() int { return len(s.db) }
+
+// Graph returns the data graph with the given global identifier.
+func (s *Sharded) Graph(id int) *graph.Graph { return s.db[id] }
+
+// Lookup classifies a canonical code. Every shard carries the full
+// vocabulary, so shard 0 answers for all of them.
+func (s *Sharded) Lookup(code string) (index.Kind, int) { return s.shards[0].idx.Lookup(code) }
+
+// NumShards returns the partition count.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// Shard returns partition i.
+func (s *Sharded) Shard(i int) Shard { return s.shards[i] }
+
+// ShardOf returns the partition owning a global graph id.
+func (s *Sharded) ShardOf(graphID int) int { return shardOf(graphID, len(s.shards)) }
+
+// CacheTag identifies the layout (and its shard count) in shared-cache keys.
+func (s *Sharded) CacheTag() string { return fmt.Sprintf("s%d", len(s.shards)) }
+
+// BuildStats reports how long the partition split and the concurrent
+// per-shard index construction took.
+func (s *Sharded) BuildStats() index.PartitionStats { return s.stats }

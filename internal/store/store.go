@@ -1,0 +1,118 @@
+// Package store abstracts how the (database, action-aware indexes) pair is
+// laid out behind the engine: monolithic (Mem — one flat graph slice and one
+// index set, today's layout) or hash-partitioned (Sharded — N shards, each
+// owning its own A²F/A²I index built concurrently). Every layer above —
+// candidate maintenance, verification fan-out, caching, persistence, the
+// naive-scan oracle — goes through the Store interface, and per-shard
+// results merge deterministically (sorted by graph id) so both layouts
+// return byte-identical answers.
+package store
+
+import (
+	"errors"
+	"fmt"
+
+	"prague/internal/graph"
+	"prague/internal/index"
+	"prague/internal/intset"
+)
+
+// Sentinel errors shared by the store constructors (and re-exported by the
+// public prague package). Test with errors.Is.
+var (
+	// ErrEmptyDatabase: a store needs at least one data graph.
+	ErrEmptyDatabase = errors.New("empty database")
+	// ErrNilIndex: a store needs a built index set.
+	ErrNilIndex = errors.New("nil index set")
+	// ErrBadShardCount: the shard count must be ≥ 1.
+	ErrBadShardCount = errors.New("shard count must be ≥ 1")
+	// ErrManifestMismatch: a persisted shard layout does not match the
+	// database (or scheme) it is being loaded against.
+	ErrManifestMismatch = errors.New("shard manifest mismatch")
+)
+
+// Store is the engine's view of one immutable database + index layout.
+// Implementations are safe for concurrent readers after construction.
+type Store interface {
+	// NumGraphs returns the total number of data graphs (across all shards).
+	NumGraphs() int
+	// Graph returns the data graph with the given global identifier.
+	Graph(id int) *graph.Graph
+	// Lookup classifies a fragment's canonical code against the action-aware
+	// indexes. Every shard carries the full fragment vocabulary, so the
+	// classification is layout-independent.
+	Lookup(code string) (index.Kind, int)
+	// NumShards returns how many partitions the store holds (1 for Mem).
+	NumShards() int
+	// Shard returns partition i.
+	Shard(i int) Shard
+	// ShardOf returns the partition owning the given global graph id.
+	ShardOf(graphID int) int
+	// CacheTag is a short stable token identifying the layout for cache-key
+	// namespacing: entries computed against different layouts sharing one
+	// candidate cache must never collide.
+	CacheTag() string
+	// Save persists the store's index layout into dir.
+	Save(dir string) error
+}
+
+// Shard is one partition of a Store: a subset of the data graphs plus the
+// action-aware indexes restricted to exactly those graphs.
+type Shard interface {
+	// ID returns the shard's index in [0, NumShards).
+	ID() int
+	// NumGraphs returns how many data graphs the shard owns.
+	NumGraphs() int
+	// GraphIDs returns the shard's global graph ids in ascending order. The
+	// slice is owned by the shard and must not be mutated.
+	GraphIDs() []int
+	// Index returns the shard-restricted index set.
+	Index() *index.Set
+}
+
+// Validate checks the invariants every store constructor shares: a non-empty
+// database with dense identifiers and a built index set.
+func Validate(db []*graph.Graph, idx *index.Set) error {
+	if len(db) == 0 {
+		return ErrEmptyDatabase
+	}
+	if idx == nil {
+		return ErrNilIndex
+	}
+	for i, g := range db {
+		if g == nil || g.ID != i {
+			return fmt.Errorf("data graph at position %d must have dense id %d", i, i)
+		}
+	}
+	return nil
+}
+
+// MergeSorted merges per-shard candidate id lists into one sorted,
+// duplicate-free list. Shard lists are sorted and pairwise disjoint by
+// construction, so the merge reconstructs the monolithic list exactly; it is
+// order-independent and dedups regardless, so a misbehaving input cannot
+// produce an unsorted or duplicated result (FuzzShardMerge pins this down).
+func MergeSorted(parts [][]int) []int {
+	switch len(parts) {
+	case 0:
+		return nil
+	case 1:
+		return parts[0]
+	}
+	var out []int
+	for _, p := range parts {
+		out = intset.Union(out, p)
+	}
+	return out
+}
+
+// SplitBy partitions a sorted id list by shard ownership, preserving order:
+// result[i] holds the ids owned by shard i, still ascending.
+func SplitBy(st Store, ids []int) [][]int {
+	parts := make([][]int, st.NumShards())
+	for _, id := range ids {
+		si := st.ShardOf(id)
+		parts[si] = append(parts[si], id)
+	}
+	return parts
+}

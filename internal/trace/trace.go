@@ -52,6 +52,7 @@ const (
 	KindVerifyCand  // one candidate's VF2 (or SimVerify) check
 	KindSimilarEval // Algorithm 5: similarity result generation
 	KindDegrade     // transparent containment→similarity degradation
+	KindShardEval   // per-shard candidate/verification fan-out
 
 	numKinds
 )
@@ -70,6 +71,7 @@ var kindNames = [numKinds]string{
 	KindVerifyCand:  "verify_candidate",
 	KindSimilarEval: "similar_eval",
 	KindDegrade:     "degrade_similarity",
+	KindShardEval:   "shard_eval",
 }
 
 func (k Kind) String() string {

@@ -43,7 +43,6 @@ package prague
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -57,6 +56,7 @@ import (
 	"prague/internal/mining"
 	"prague/internal/patterns"
 	"prague/internal/service"
+	"prague/internal/store"
 	"prague/internal/trace"
 )
 
@@ -73,7 +73,7 @@ var (
 	// ErrNegativeSigma: a negative subgraph distance threshold.
 	ErrNegativeSigma = core.ErrNegativeSigma
 	// ErrEmptyDatabase: a database with no graphs.
-	ErrEmptyDatabase = errors.New("empty database")
+	ErrEmptyDatabase = store.ErrEmptyDatabase
 	// ErrSessionNotFound: unknown, deleted, or evicted session id.
 	ErrSessionNotFound = service.ErrSessionNotFound
 	// ErrServiceClosed: the service has been shut down.
@@ -261,6 +261,44 @@ func SaveIndexes(ix *Indexes, dir string) error { return ix.Save(dir) }
 // LoadIndexes loads persisted indexes from dir.
 func LoadIndexes(dir string) (*Indexes, error) { return index.Load(dir) }
 
+// GraphStore is the storage abstraction sessions evaluate against: graph
+// access, action-aware index probes, candidate enumeration, and persistence.
+// Two layouts ship: the monolithic in-memory store every service uses by
+// default, and a hash-partitioned sharded store (NewShardedStore) whose
+// shards own their own A²F/A²I slices and evaluate in parallel. Results are
+// byte-identical across layouts.
+type GraphStore = store.Store
+
+// NewShardedStore hash-partitions the database and its indexes into n
+// shards, each owning the FSG id lists of its own graphs; the per-shard
+// index slices are built concurrently. The full fragment vocabulary
+// (classification, DAG structure) is replicated in every shard, so SPIG
+// construction is layout-independent while candidate enumeration and
+// verification fan out per shard. Pass the store to a service via WithStore,
+// or persist it with SaveStore.
+func NewShardedStore(db *Database, ix *Indexes, n int) (GraphStore, error) {
+	if db == nil || db.Len() == 0 {
+		return nil, fmt.Errorf("prague: sharded store: %w", ErrEmptyDatabase)
+	}
+	return store.NewSharded(db.graphs, ix, n)
+}
+
+// SaveStore persists a store's index layout into dir (per-shard
+// subdirectories plus a manifest for sharded stores; the plain index layout
+// for monolithic ones).
+func SaveStore(st GraphStore, dir string) error { return st.Save(dir) }
+
+// LoadShardedStore loads a persisted sharded layout (SaveStore of a
+// NewShardedStore) over the same database. The manifest pins the partition
+// scheme and graph count, so loading against a different database fails
+// rather than silently mis-assigning graphs.
+func LoadShardedStore(db *Database, dir string) (GraphStore, error) {
+	if db == nil || db.Len() == 0 {
+		return nil, fmt.Errorf("prague: sharded store: %w", ErrEmptyDatabase)
+	}
+	return store.LoadSharded(db.graphs, dir)
+}
+
 // NewSession starts a single-user PRAGUE session over the database with
 // subgraph distance threshold sigma (how many query edges an approximate
 // match may miss). For serving many users, prefer NewService.
@@ -328,6 +366,17 @@ func WithMetrics(reg *Metrics) Option { return service.WithMetrics(reg) }
 // The default is 32 MiB; ≤ 0 disables caching. Hit/miss/coalesced/eviction
 // counters appear in the service's metrics snapshot as candcache_*.
 func WithCandidateCache(bytes int64) Option { return service.WithCandidateCache(bytes) }
+
+// WithShards hash-partitions the database and indexes into n shards at
+// service construction; evaluation fans out per shard and merges
+// deterministically, so results are byte-identical to the default monolithic
+// layout. n ≤ 1 keeps the monolithic store.
+func WithShards(n int) Option { return service.WithShards(n) }
+
+// WithStore serves sessions from a pre-built GraphStore (e.g. a sharded
+// store restored with LoadShardedStore); the database and indexes passed to
+// NewService are then ignored.
+func WithStore(st GraphStore) Option { return service.WithStore(st) }
 
 // WithTracing enables per-action structured tracing: every AddEdge,
 // DeleteEdge, and Run records a span tree of its evaluation phases (SPIG

@@ -1,0 +1,194 @@
+package prague_test
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"prague/internal/core"
+	"prague/internal/graph"
+	"prague/internal/index"
+	"prague/internal/store"
+	"prague/internal/workload"
+)
+
+// shardEngine builds a fresh engine over st and formulates wq, resolving the
+// empty-Rq choice like a user continuing approximately.
+func shardEngine(tb testing.TB, st store.Store, wq workload.Query, sigma int) *core.Engine {
+	tb.Helper()
+	e, err := core.NewWithStore(st, sigma)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ids := make([]int, len(wq.NodeLabels))
+	for i, l := range wq.NodeLabels {
+		ids[i] = e.AddNode(l)
+	}
+	for _, ed := range wq.Edges {
+		out, err := e.AddEdge(ids[ed[0]], ids[ed[1]])
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if out.NeedsChoice {
+			e.ChooseSimilarity()
+		}
+	}
+	return e
+}
+
+// shardStore builds the n-shard layout (n = 1 uses the monolithic store the
+// service defaults to).
+func shardStore(tb testing.TB, db []*graph.Graph, idx *index.Set, n int) store.Store {
+	tb.Helper()
+	var (
+		st  store.Store
+		err error
+	)
+	if n == 1 {
+		st, err = store.NewMem(db, idx)
+	} else {
+		st, err = store.NewSharded(db, idx, n)
+	}
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return st
+}
+
+// BenchmarkShardedRun measures the full formulate+Run pipeline against
+// monolithic, 4-shard, and 8-shard layouts of the same database. The answers
+// are byte-identical by construction; the interesting axis is how the SRT
+// moves as candidate enumeration and verification fan out per shard.
+func BenchmarkShardedRun(b *testing.B) {
+	f := aidsFixture(b)
+	wq := f.worst[0]
+	for _, n := range []int{1, 4, 8} {
+		st := shardStore(b, f.db, f.idx, n)
+		b.Run(shardName(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e := shardEngine(b, st, wq, 3)
+				if _, err := e.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func shardName(n int) string {
+	switch n {
+	case 1:
+		return "shards=1"
+	case 4:
+		return "shards=4"
+	default:
+		return "shards=8"
+	}
+}
+
+// TestShardArtifact records the sharding trade-off the tentpole promises:
+// per-shard index construction parallelizes (BuildTime is the concurrent
+// phase of PartitionSets; SplitTime the sequential delta-split prologue),
+// while the Run SRT stays in the same regime and the answers stay
+// byte-identical across layouts. Writes BENCH_shard.json. The build-time
+// improvement is asserted only on multi-core runners — on a single-CPU box
+// the concurrent phase serializes and proves nothing either way.
+func TestShardArtifact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark artifact skipped in -short mode")
+	}
+	f := aidsFixture(t)
+	wq := f.worst[0]
+	maxprocs := runtime.GOMAXPROCS(0)
+
+	// Best-of-attempts partition timings: noise inflates single runs, a real
+	// parallel speedup survives the minimum.
+	const attempts = 3
+	partition := func(n int) index.PartitionStats {
+		var best index.PartitionStats
+		for i := 0; i < attempts; i++ {
+			st, err := store.NewSharded(f.db, f.idx, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := st.BuildStats()
+			if i == 0 || s.SplitTime+s.BuildTime < best.SplitTime+best.BuildTime {
+				best = s
+			}
+		}
+		return best
+	}
+
+	type row struct {
+		Shards    int     `json:"shards"`
+		SplitMS   float64 `json:"split_ms"`
+		BuildMS   float64 `json:"build_ms"`
+		SRTNsPerO int64   `json:"srt_ns_per_op"`
+	}
+	var rows []row
+	var baseline []core.Result
+	stats := map[int]index.PartitionStats{}
+	for _, n := range []int{1, 4, 8} {
+		stats[n] = partition(n)
+		st := shardStore(t, f.db, f.idx, n)
+		got, err := shardEngine(t, st, wq, 3).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if baseline == nil {
+			baseline = got
+		} else {
+			if len(got) != len(baseline) {
+				t.Fatalf("shards=%d returned %d results, monolithic %d", n, len(got), len(baseline))
+			}
+			for i := range got {
+				if got[i] != baseline[i] {
+					t.Fatalf("shards=%d result %d is %+v, monolithic %+v", n, i, got[i], baseline[i])
+				}
+			}
+		}
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				e := shardEngine(b, st, wq, 3)
+				b.StartTimer()
+				if _, err := e.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rows = append(rows, row{
+			Shards:    n,
+			SplitMS:   float64(stats[n].SplitTime) / float64(time.Millisecond),
+			BuildMS:   float64(stats[n].BuildTime) / float64(time.Millisecond),
+			SRTNsPerO: res.NsPerOp(),
+		})
+	}
+
+	artifact := map[string]any{
+		"workload":   "similarity query (worst-case Fig 9 pick), formulation untimed, Run timed",
+		"query":      wq.Name,
+		"gomaxprocs": maxprocs,
+		"attempts":   attempts,
+		"layouts":    rows,
+		"identical":  true,
+		"note":       "split_ms is the sequential delta-split prologue; build_ms the concurrent per-shard index construction; answers byte-identical across layouts",
+	}
+	buf, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_shard.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("shard artifact: gomaxprocs=%d rows=%+v", maxprocs, rows)
+
+	if maxprocs >= 4 {
+		if stats[4].BuildTime >= stats[1].BuildTime {
+			t.Errorf("4-shard concurrent build (%v) did not beat the 1-shard build (%v) on a %d-way runner",
+				stats[4].BuildTime, stats[1].BuildTime, maxprocs)
+		}
+	}
+}
