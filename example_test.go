@@ -1,6 +1,7 @@
 package prague_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -96,6 +97,82 @@ func ExampleSession_SuggestDeletion() {
 	fmt.Println("suggested deletion is a real edge:", sug.Step >= 1 && sug.Step <= 2)
 	// Output:
 	// suggested deletion is a real edge: true
+}
+
+// ExampleNewService_mutable shows online mutation: a service built on a
+// GraphStore handle grows and shrinks its database while a session keeps
+// querying. Each mutation publishes a new store epoch; the session's next
+// Run pins it and observes the change.
+func ExampleNewService_mutable() {
+	db, err := prague.GenerateMolecules(150, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ix, err := prague.BuildIndexes(db, prague.IndexOptions{Alpha: 0.1, Beta: 3, MaxFragmentSize: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := prague.NewStore(db, ix)
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc, err := prague.NewServiceFromStore(st, prague.WithSigma(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svc.Close()
+
+	ctx := context.Background()
+	ss, _ := svc.Create(ctx)
+	a, _ := ss.AddNode("C")
+	b, _ := ss.AddNode("N")
+	if _, err := ss.AddEdge(ctx, a, b); err != nil {
+		log.Fatal(err)
+	}
+	before, err := ss.Run(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Grow the database online: a two-node C–N graph that matches exactly.
+	g := prague.NewGraph(0)
+	g.AddNode("C")
+	g.AddNode("N")
+	if err := g.AddEdge(0, 1); err != nil {
+		log.Fatal(err)
+	}
+	id, err := svc.InsertGraph(ctx, g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	after, err := ss.Run(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact := false
+	for _, r := range after {
+		if r.GraphID == id && r.Distance == 0 {
+			exact = true
+		}
+	}
+	fmt.Println("answers gained by insert:", len(after)-len(before))
+	fmt.Println("inserted graph matched exactly:", exact)
+
+	// Shrink it again: the id is tombstoned and leaves the answer set.
+	if err := svc.DeleteGraph(ctx, id); err != nil {
+		log.Fatal(err)
+	}
+	final, err := ss.Run(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("back to baseline:", len(final) == len(before))
+	fmt.Println("store epoch:", svc.Epoch())
+	// Output:
+	// answers gained by insert: 1
+	// inserted graph matched exactly: true
+	// back to baseline: true
+	// store epoch: 2
 }
 
 // ExampleSession_AddPattern shows canned-pattern composition: a whole

@@ -32,3 +32,32 @@ func TestChaosQuick(t *testing.T) {
 		t.Error("admission control never shed — the overload schedules are not colliding")
 	}
 }
+
+// TestMutationChaos drives seeded schedules in which a mutator streams
+// InsertGraph/DeleteGraph calls through the service while sessions evaluate
+// concurrently. Every Run must be epoch-consistent: pinned to exactly one
+// store epoch (RunOutcome.Epoch) and answering exactly the oracle over that
+// epoch's recorded database — a run that mixed two epochs, surfaced a
+// deleted graph, or leaked a mid-evaluation insert fails.
+func TestMutationChaos(t *testing.T) {
+	cfg := QuickMutation()
+	if testing.Short() {
+		// The tiny fixtures mine in well under a second, so unlike the main
+		// chaos suite this one stays on in -short — just fewer schedules.
+		cfg.Schedules = 2
+	}
+	tot := RunMutation(t, cfg)
+	if t.Failed() {
+		return
+	}
+	t.Logf("mutation chaos totals: %+v", tot)
+	if tot.Runs == 0 {
+		t.Fatal("mutation chaos checked zero runs")
+	}
+	if tot.Mutations == 0 {
+		t.Fatal("the mutator never committed a mutation")
+	}
+	if tot.MutatedRuns == 0 {
+		t.Error("no run ever pinned a post-mutation epoch — mutation never interleaved with evaluation")
+	}
+}

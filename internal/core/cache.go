@@ -22,14 +22,16 @@ func (e *Engine) SetCandidateCache(c *candcache.Cache) { e.cache = c }
 
 // candKey names a fragment's Algorithm 3 candidate id set in the shared
 // cache; exactKey names its verified containment set. Both are keyed by the
-// fragment's minimum-DFS canonical code, which identifies the computation
-// completely on an immutable (store, indexes) pair.
+// fragment's minimum-DFS canonical code plus the pinned snapshot's CacheTag
+// (layout, content fingerprint, and epoch), which identifies the computation
+// completely: a mutation publishes a new epoch, so entries computed against
+// different store states can never alias.
 func (e *Engine) candKey(code string) string {
-	return candcache.Key(candcache.KeyCandidates, e.st.CacheTag(), code)
+	return candcache.Key(candcache.KeyCandidates, e.snap.CacheTag(), code)
 }
 
 func (e *Engine) exactKey(code string) string {
-	return candcache.Key(candcache.KeyContainment, e.st.CacheTag(), code)
+	return candcache.Key(candcache.KeyContainment, e.snap.CacheTag(), code)
 }
 
 // exactContainment returns the ids of data graphs containing frag, verified
@@ -43,7 +45,7 @@ func (e *Engine) exactContainment(ctx context.Context, code string, frag *graph.
 	verify := func(ctx context.Context) ([]int, error) {
 		before := e.runFaults.Load()
 		out, err := e.filter(ctx, cands, e.verifyPred(ctx, func(id int) bool {
-			return graph.SubgraphIsomorphic(frag, e.st.Graph(id))
+			return graph.SubgraphIsomorphic(frag, e.snap.Graph(id))
 		}))
 		if err == nil {
 			// Faulted checks (injected errors, recovered panics) dropped

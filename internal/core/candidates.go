@@ -82,9 +82,9 @@ func (e *Engine) computeCandidates(ctx context.Context, v *spig.Vertex) []int {
 			sp.Record(trace.KindIndexProbe, time.Since(t0), "lists", int64(len(v.Phi)+len(v.Ups)+1))
 		}()
 	}
-	n := e.st.NumShards()
+	n := e.snap.NumShards()
 	if n == 1 {
-		return shardCandidates(e.st.Shard(0), v)
+		return shardCandidates(e.snap.Shard(0), v)
 	}
 	t0 := time.Now()
 	parts := make([][]int, n)
@@ -93,7 +93,7 @@ func (e *Engine) computeCandidates(ctx context.Context, v *spig.Vertex) []int {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			parts[i] = shardCandidates(e.st.Shard(i), v)
+			parts[i] = shardCandidates(e.snap.Shard(i), v)
 		}(i)
 	}
 	wg.Wait()
@@ -146,16 +146,10 @@ func shardCandidates(sh store.Shard, v *spig.Vertex) []int {
 	return rq
 }
 
-// allIds returns (and caches) the identifier universe.
-func (e *Engine) allIds() []int {
-	if e.universe == nil {
-		e.universe = make([]int, e.st.NumGraphs())
-		for i := range e.universe {
-			e.universe[i] = i
-		}
-	}
-	return e.universe
-}
+// allIds returns the identifier universe of the pinned epoch: the live graph
+// ids, excluding tombstoned slots. The slice is owned by the snapshot and
+// must not be mutated.
+func (e *Engine) allIds() []int { return e.snap.LiveIDs() }
 
 // similarSubCandidates implements Algorithm 4 (SimilarSubCandidates): for
 // each level i from |q|-1 down to |q|-σ, split the FSG candidates of the

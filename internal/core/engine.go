@@ -78,6 +78,13 @@ type Engine struct {
 	st    store.Store
 	sigma int
 
+	// snap is the epoch snapshot the current action is pinned to. Every
+	// action repins on entry (repin); all evaluation reads — graphs, shards,
+	// cache keys, the live-id universe — go through snap, never st, so a
+	// concurrent InsertGraph/DeleteGraph publishing a new epoch mid-action
+	// can never mix two store states into one answer.
+	snap store.Snapshot
+
 	q       *query.Query
 	spigs   *spig.Set
 	simFlag bool
@@ -86,7 +93,6 @@ type Engine struct {
 	rq            []int                  // exact candidates (containment mode)
 	rfree         levelSets              // verification-free candidates per level (similarity mode)
 	rver          levelSets              // to-verify candidates per level (similarity mode)
-	universe      []int                  // cached 0..|D|-1
 	candMemo      map[*spig.Vertex][]int // per-vertex Algorithm 3 results
 	verifyWorkers int                    // per-call goroutines (deprecated SetVerifyWorkers path)
 	pool          *workpool.Pool         // shared verification pool (service-injected), or nil
@@ -99,6 +105,10 @@ type Engine struct {
 	runBudget time.Duration
 	runFaults atomic.Int64
 	lastGood  []Result // results of the session's last fault-free Run
+	// lastGoodEpoch tags lastGood with the epoch it was computed under; the
+	// ladder's cached-good rung only serves it while the store is still at
+	// that epoch (mutations may have invalidated any older answer).
+	lastGoodEpoch uint64
 
 	// stale marks candidate state that no longer reflects the query: the
 	// last refresh was cancelled mid-recompute, so rq/rfree/rver belong to
@@ -141,8 +151,34 @@ func NewWithStore(st store.Store, sigma int) (*Engine, error) {
 	if sigma < 0 {
 		return nil, fmt.Errorf("core: σ = %d: %w", sigma, ErrNegativeSigma)
 	}
-	return &Engine{st: st, sigma: sigma, q: query.New(), spigs: spig.NewSet(st)}, nil
+	snap := st.Pin()
+	return &Engine{st: st, sigma: sigma, snap: snap, q: query.New(), spigs: spig.NewSet(snap)}, nil
 }
+
+// repin aligns the action about to run with the store's latest published
+// epoch and returns the pinned snapshot. When the epoch moved since the last
+// action, everything derived from the old epoch is invalidated: the SPIG
+// classifier is rebound, the per-vertex candidate memo is dropped, and the
+// candidate sets are marked stale so the next evaluation recomputes them.
+// Within one action the snapshot never changes — that is the single-epoch
+// guarantee concurrent mutations are measured against.
+func (e *Engine) repin() store.Snapshot {
+	ns := e.st.Pin()
+	if e.snap != nil && ns.Epoch() == e.snap.Epoch() {
+		return e.snap
+	}
+	e.snap = ns
+	e.spigs.SetClassifier(ns)
+	e.candMemo = nil
+	if e.q.Size() > 0 {
+		e.stale = true // rq/rfree/rver were computed against an older epoch
+	}
+	return ns
+}
+
+// Snapshot returns the epoch snapshot the engine's current candidate state
+// is pinned to.
+func (e *Engine) Snapshot() store.Snapshot { return e.snap }
 
 // Store returns the graph store the engine evaluates against.
 func (e *Engine) Store() store.Store { return e.st }
@@ -198,6 +234,7 @@ func (e *Engine) AddLabeledEdgeCtx(ctx context.Context, u, v int, label string) 
 	if err := ctx.Err(); err != nil {
 		return StepOutcome{}, fmt.Errorf("core: add edge: %w", err)
 	}
+	e.repin()
 	step, err := e.q.AddLabeledEdge(u, v, label)
 	if err != nil {
 		return StepOutcome{}, err
@@ -237,6 +274,7 @@ func (e *Engine) ChooseSimilarity() StepOutcome {
 
 // ChooseSimilarityCtx is the context-aware ChooseSimilarity.
 func (e *Engine) ChooseSimilarityCtx(ctx context.Context) (StepOutcome, error) {
+	e.repin()
 	e.simFlag = true
 	e.pending = false
 	out, err := e.refresh(ctx)

@@ -30,14 +30,16 @@ type Match struct {
 // must be within the engine's σ (or contain the query exactly); otherwise an
 // error is returned.
 func (e *Engine) Explain(graphID int) (*Match, error) {
-	if graphID < 0 || graphID >= e.st.NumGraphs() {
+	snap := e.repin()
+	if graphID < 0 || graphID >= snap.NumGraphs() || snap.Graph(graphID) == nil {
+		// Out of range or a tombstoned slot: a deleted graph has no match.
 		return nil, fmt.Errorf("core: no data graph %d: %w", graphID, ErrGraphNotFound)
 	}
 	n := e.q.Size()
 	if n == 0 {
 		return nil, fmt.Errorf("core: explain: %w", ErrEmptyQuery)
 	}
-	g := e.st.Graph(graphID)
+	g := snap.Graph(graphID)
 	lo := n - e.sigma
 	if lo < 1 {
 		lo = 1

@@ -65,6 +65,10 @@ type RunOutcome struct {
 	// verification failures during this Run (each dropped check can hide at
 	// most one answer).
 	Faults int64
+	// Epoch is the store epoch this Run was pinned to: every id and distance
+	// in Results was computed against that single snapshot, even if
+	// concurrent mutations published newer epochs mid-evaluation.
+	Epoch uint64
 }
 
 // SetRunBudget caps the wall-clock evaluation time of each Run action. When
@@ -92,6 +96,7 @@ func (e *Engine) RunDetailedCtx(ctx context.Context) (RunOutcome, error) {
 	}
 	t0 := time.Now()
 	defer func() { e.stats.RunTime = time.Since(t0) }()
+	snap := e.repin()
 	e.runFaults.Store(0)
 
 	rctx := ctx
@@ -103,7 +108,7 @@ func (e *Engine) RunDetailedCtx(ctx context.Context) (RunOutcome, error) {
 
 	results, err := e.evaluate(rctx)
 	faults := e.runFaults.Load()
-	out := RunOutcome{Results: results, Faults: faults}
+	out := RunOutcome{Results: results, Faults: faults, Epoch: snap.Epoch()}
 
 	switch {
 	case err == nil && faults == 0:
@@ -111,6 +116,7 @@ func (e *Engine) RunDetailedCtx(ctx context.Context) (RunOutcome, error) {
 		// Non-nil even for an empty answer: "no results" is a perfectly good
 		// last known answer, distinct from "never completed a run".
 		e.lastGood = append(make([]Result, 0, len(results)), results...)
+		e.lastGoodEpoch = snap.Epoch()
 	case err == nil || errors.Is(err, ErrVerifyFaults):
 		// Faulted verification dropped candidates but evaluation finished:
 		// what survived is a verified subset of the truth.
@@ -129,7 +135,10 @@ func (e *Engine) RunDetailedCtx(ctx context.Context) (RunOutcome, error) {
 			out.Results = e.quickSimilarity()
 			out.Truncated = true
 			out.Stage = StageSimilarity
-		case e.lastGood != nil:
+		case e.lastGood != nil && e.lastGoodEpoch == snap.Epoch():
+			// The cached-good rung is epoch-tagged: an answer computed
+			// before a mutation may cite deleted graphs or miss inserted
+			// ones, so it is only served while the store is unchanged.
 			out.Results = append([]Result(nil), e.lastGood...)
 			out.Truncated = true
 			out.Stage = StageCachedGood

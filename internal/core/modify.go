@@ -23,6 +23,7 @@ func (e *Engine) SuggestDeletion() (Suggestion, error) {
 	if e.q.Size() <= 1 {
 		return Suggestion{}, fmt.Errorf("core: nothing to suggest on a %d-edge query", e.q.Size())
 	}
+	e.repin()
 	best := Suggestion{Step: -1, Candidates: -1}
 	steps := e.q.Steps()
 	for _, s := range steps {
@@ -60,6 +61,7 @@ func (e *Engine) DeleteEdge(step int) (StepOutcome, error) {
 // polls cancellation between SPIG levels.
 func (e *Engine) DeleteEdgeCtx(ctx context.Context, step int) (StepOutcome, error) {
 	t0 := time.Now()
+	e.repin()
 	if err := e.q.DeleteEdge(step); err != nil {
 		return StepOutcome{}, err
 	}
@@ -78,6 +80,7 @@ func (e *Engine) DeleteEdgeCtx(ctx context.Context, step int) (StepOutcome, erro
 // mentions). All-or-nothing.
 func (e *Engine) DeleteEdges(steps []int) (StepOutcome, error) {
 	t0 := time.Now()
+	e.repin()
 	if err := e.q.DeleteEdges(steps); err != nil {
 		return StepOutcome{}, err
 	}
@@ -96,6 +99,7 @@ func (e *Engine) DeleteEdges(steps []int) (StepOutcome, error) {
 // new SPIGs are constructed in ascending label order.
 func (e *Engine) RelabelNode(node int, label string) (StepOutcome, error) {
 	t0 := time.Now()
+	e.repin()
 	oldSteps, newSteps, err := e.q.RelabelNode(node, label)
 	if err != nil {
 		return StepOutcome{}, err

@@ -39,7 +39,7 @@ func (e *Engine) SetVerifyWorkers(n int) {
 // predicate panics fail only their own candidate; each one is accounted as a
 // run fault so the outcome is flagged Truncated.
 func (e *Engine) filter(ctx context.Context, ids []int, pred func(id int) bool) ([]int, error) {
-	if e.st.NumShards() > 1 && len(ids) > 1 {
+	if e.snap.NumShards() > 1 && len(ids) > 1 {
 		return e.filterSharded(ctx, ids, pred)
 	}
 	return e.filterOne(ctx, ids, pred)
@@ -71,7 +71,7 @@ func (e *Engine) filterOne(ctx context.Context, ids []int, pred func(id int) boo
 // unsharded scan. Each shard's batch runs under its own shard_eval span for
 // per-shard trace attribution.
 func (e *Engine) filterSharded(ctx context.Context, ids []int, pred func(id int) bool) ([]int, error) {
-	parts := store.SplitBy(e.st, ids)
+	parts := store.SplitBy(e.snap, ids)
 	outs := make([][]int, len(parts))
 	errs := make([]error, len(parts))
 	var wg sync.WaitGroup

@@ -59,7 +59,7 @@ func (e *Engine) similarResultsGen(ctx context.Context, qg *graph.Graph) ([]Resu
 		} else {
 			frags := e.levelFragments(i)
 			confirmed, err = e.filter(ctx, pending, e.verifyPred(ctx, func(id int) bool {
-				return containsAnyFragment(frags, e.st.Graph(id))
+				return containsAnyFragment(frags, e.snap.Graph(id))
 			}))
 		}
 		for _, id := range confirmed {
@@ -70,9 +70,10 @@ func (e *Engine) similarResultsGen(ctx context.Context, qg *graph.Graph) ([]Resu
 
 	// σ ≥ |q| admits graphs sharing nothing with the query: by Definition 2
 	// their distance is exactly |q| (δ = 0). They form the trailing band of
-	// the ranking.
+	// the ranking — the pinned epoch's live graphs, so tombstoned slots never
+	// surface and graphs inserted mid-evaluation never leak in.
 	if ctxErr == nil && e.sigma >= n {
-		for id := 0; id < e.st.NumGraphs(); id++ {
+		for _, id := range e.snap.LiveIDs() {
 			if _, done := assigned[id]; !done {
 				assigned[id] = n
 			}

@@ -102,21 +102,7 @@ func randomDatabase(tb testing.TB, seed int64, n int) ([]*graph.Graph, *index.Se
 	r := rand.New(rand.NewSource(seed))
 	db := make([]*graph.Graph, 0, n)
 	for i := 0; i < n; i++ {
-		nodes := 4 + r.Intn(6)
-		g := graph.New(i)
-		for v := 0; v < nodes; v++ {
-			g.AddNode(nodeLabels[r.Intn(len(nodeLabels))])
-		}
-		for v := 1; v < nodes; v++ {
-			g.MustAddEdge(v, r.Intn(v))
-		}
-		for k := 0; k < r.Intn(3); k++ {
-			u, v := r.Intn(nodes), r.Intn(nodes)
-			if u != v && !g.HasEdge(u, v) {
-				g.MustAddEdge(u, v)
-			}
-		}
-		db = append(db, g)
+		db = append(db, randomGraph(r, i))
 	}
 	res, err := mining.Mine(db, mining.Options{MinSupportRatio: 0.3, MaxSize: 6})
 	if err != nil {
@@ -129,11 +115,34 @@ func randomDatabase(tb testing.TB, seed int64, n int) ([]*graph.Graph, *index.Se
 	return db, idx
 }
 
+// randomGraph builds one connected random molecule-like graph: a random
+// spanning tree plus a few extra edges, labels drawn from the shared
+// vocabulary. Shared by database generation and the mutation suite's online
+// inserts, so inserted graphs look like the mined population.
+func randomGraph(r *rand.Rand, id int) *graph.Graph {
+	nodes := 4 + r.Intn(6)
+	g := graph.New(id)
+	for v := 0; v < nodes; v++ {
+		g.AddNode(nodeLabels[r.Intn(len(nodeLabels))])
+	}
+	for v := 1; v < nodes; v++ {
+		g.MustAddEdge(v, r.Intn(v))
+	}
+	for k := 0; k < r.Intn(3); k++ {
+		u, v := r.Intn(nodes), r.Intn(nodes)
+		if u != v && !g.HasEdge(u, v) {
+			g.MustAddEdge(u, v)
+		}
+	}
+	return g
+}
+
 type harness struct {
 	tb     testing.TB
 	db     []*graph.Graph
 	idx    *index.Set
 	st     store.Store // 4-way sharded layout of (db, idx)
+	mono   store.Store // monolithic twin, mutated in lockstep (mutation suite)
 	oracle *naivescan.Engine
 	cache  *candcache.Cache
 	sigma  int

@@ -1,0 +1,185 @@
+// Mutation differential suite: the lockstep harness extended with online
+// graph mutation. Two stores — a monolithic Mem and a 4-way sharded layout —
+// are built from the same random database and mutated in lockstep (every
+// InsertGraph/DeleteGraph applied to both, asserting they assign the same
+// ids and publish the same epochs), while random edit scripts formulate
+// queries through the usual four engine variants (mono/shard × cache
+// off/on). The oracle is a live naivescan over the sharded store, so after
+// every mutation the ground truth is recomputed from the store's own live
+// graphs — an insert that lands in the wrong shard, a delete that leaves a
+// stale id in an index list, or a cache entry surviving an epoch change all
+// surface as an oracle mismatch.
+
+package difftest
+
+import (
+	"math/rand"
+	"testing"
+
+	"prague/internal/candcache"
+	"prague/internal/core"
+	"prague/internal/naivescan"
+	"prague/internal/store"
+)
+
+// RunMutation executes the mutation differential suite and returns how many
+// comparison cases it checked. Any divergence — between variants, between
+// the stores' epochs or assigned ids, or from the live oracle — fails tb.
+func RunMutation(tb testing.TB, cfg Config) int {
+	tb.Helper()
+	total, mutations := 0, 0
+	for d := 0; d < cfg.Databases; d++ {
+		seed := cfg.Seed + 104729 + int64(d)*7919
+		db, idx := randomDatabase(tb, seed, cfg.DBSize)
+		mono, err := store.NewMem(db, idx)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		sharded, err := store.NewSharded(db, idx, 4)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		oracle, err := naivescan.NewFromStore(sharded, cfg.OracleWorkers)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		cache := candcache.New(cfg.CacheBytes, nil)
+		h := &harness{tb: tb, db: db, idx: idx, st: sharded, mono: mono, oracle: oracle, cache: cache, sigma: cfg.Sigma}
+		for s := 0; s < cfg.Scripts; s++ {
+			mutations += h.runMutScript(rand.New(rand.NewSource(seed + int64(s) + 1)))
+		}
+		if mono.Epoch() != sharded.Epoch() {
+			tb.Fatalf("difftest: db %d: final epochs diverged: mono %d, sharded %d", d, mono.Epoch(), sharded.Epoch())
+		}
+		total += h.cases
+	}
+	if mutations == 0 {
+		tb.Fatal("difftest: mutation suite applied zero mutations — the scripts are not exercising InsertGraph/DeleteGraph")
+	}
+	return total
+}
+
+// mutateBoth applies one random online mutation to both stores in lockstep
+// and asserts they stay indistinguishable: same assigned id on insert, same
+// acceptance on delete, same epoch afterwards. Inserts clone the graph so
+// neither store observes the other's ownership.
+func (h *harness) mutateBoth(r *rand.Rand) {
+	live := h.st.LiveIDs()
+	if r.Intn(2) == 0 || len(live) <= 2 {
+		g := randomGraph(r, 0)
+		idMono, err := h.mono.InsertGraph(g.Clone())
+		if err != nil {
+			h.tb.Fatalf("difftest: mono insert: %v", err)
+		}
+		idShard, err := h.st.InsertGraph(g)
+		if err != nil {
+			h.tb.Fatalf("difftest: sharded insert: %v", err)
+		}
+		if idMono != idShard {
+			h.tb.Fatalf("difftest: insert ids diverged: mono %d, sharded %d", idMono, idShard)
+		}
+	} else {
+		id := live[r.Intn(len(live))]
+		if err := h.mono.DeleteGraph(id); err != nil {
+			h.tb.Fatalf("difftest: mono delete %d: %v", id, err)
+		}
+		if err := h.st.DeleteGraph(id); err != nil {
+			h.tb.Fatalf("difftest: sharded delete %d: %v", id, err)
+		}
+	}
+	if me, se := h.mono.Epoch(), h.st.Epoch(); me != se {
+		h.tb.Fatalf("difftest: epochs diverged after mutation: mono %d, sharded %d", me, se)
+	}
+}
+
+// runMutScript drives one random edit script — formulation actions,
+// mid-script differential checks, and online mutations — through the four
+// engine variants in lockstep, and returns how many mutations it applied.
+// It mirrors runScript's op generator with mutation ops spliced in; every
+// engine repins the store's current epoch on its next action, so a check
+// after a mutation compares all four variants against the post-mutation
+// ground truth.
+func (h *harness) runMutScript(r *rand.Rand) int {
+	var engines [4]*core.Engine
+	for i := range engines {
+		src := h.mono
+		if i >= 2 {
+			src = h.st
+		}
+		e, err := core.NewWithStore(src, h.sigma)
+		if err != nil {
+			h.tb.Fatal(err)
+		}
+		if i%2 == 1 {
+			e.SetCandidateCache(h.cache)
+		}
+		engines[i] = e
+	}
+	off := engines[0]
+
+	var nodes []int
+	addNode := func() int {
+		label := nodeLabels[r.Intn(len(nodeLabels))]
+		id := off.AddNode(label)
+		for _, e := range engines[1:] {
+			if got := e.AddNode(label); got != id {
+				h.tb.Fatalf("difftest: node ids diverged: %d vs %d", got, id)
+			}
+		}
+		nodes = append(nodes, id)
+		return id
+	}
+	addNode()
+	addNode()
+
+	mutations := 0
+	steps := 6 + r.Intn(6)
+	for k := 0; k < steps; k++ {
+		switch op := r.Intn(12); {
+		case op < 5 || off.Query().Size() == 0: // add an edge
+			var u int
+			if off.Query().Size() == 0 {
+				u = nodes[r.Intn(len(nodes))]
+			} else {
+				st := off.Query().Steps()
+				qe, _ := off.Query().Edge(st[r.Intn(len(st))])
+				if r.Intn(2) == 0 {
+					u = qe.A
+				} else {
+					u = qe.B
+				}
+			}
+			var v int
+			if r.Intn(3) == 0 && len(nodes) > 2 {
+				v = nodes[r.Intn(len(nodes))]
+			} else {
+				v = addNode()
+			}
+			bond := edgeLabels[r.Intn(len(edgeLabels))]
+			h.applyBoth(engines, "add", func(e *core.Engine) (core.StepOutcome, error) {
+				return e.AddLabeledEdge(u, v, bond)
+			})
+		case op < 7: // delete one deletable edge
+			var deletable []int
+			for _, s := range off.Query().Steps() {
+				if off.Query().CanDelete(s) {
+					deletable = append(deletable, s)
+				}
+			}
+			if len(deletable) == 0 {
+				continue
+			}
+			step := deletable[r.Intn(len(deletable))]
+			h.applyBoth(engines, "delete", func(e *core.Engine) (core.StepOutcome, error) {
+				return e.DeleteEdge(step)
+			})
+		case op < 10: // mutate the database under the engines' feet
+			h.mutateBoth(r)
+			mutations++
+		default: // mid-script differential check
+			h.check(engines)
+		}
+	}
+	h.check(engines)
+	return mutations
+}

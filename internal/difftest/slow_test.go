@@ -14,3 +14,14 @@ func TestDifferentialFull(t *testing.T) {
 	}
 	t.Logf("differential: %d cases checked against the naivescan oracle", cases)
 }
+
+// TestDifferentialMutationFull is the deep mutation sweep (build tag `slow`):
+// the same scale with online InsertGraph/DeleteGraph spliced into every
+// script and the oracle recomputed live from the mutated store.
+func TestDifferentialMutationFull(t *testing.T) {
+	cases := RunMutation(t, Full())
+	if cases < 500 {
+		t.Fatalf("full mutation differential suite checked %d cases, want ≥ 500", cases)
+	}
+	t.Logf("mutation differential: %d cases checked against the live naivescan oracle", cases)
+}

@@ -96,7 +96,7 @@ func Names() []string {
 	return []string{
 		"table2", "fig9a", "fig9be", "fig9fi", "fig9j",
 		"table3", "table4", "fig10a", "fig10be", "table5",
-		"latency", "candcache", "trace", "chaos", "shard",
+		"latency", "candcache", "trace", "chaos", "shard", "mutate",
 		"ablation-sequence", "ablation-freever", "ablation-dif", "ablation-beta",
 	}
 }
@@ -134,6 +134,8 @@ func (s *Suite) Run(name string) error {
 		return s.Shard()
 	case "chaos":
 		return s.Chaos()
+	case "mutate":
+		return s.Mutate()
 	case "ablation-sequence":
 		return s.AblationSequence()
 	case "ablation-freever":

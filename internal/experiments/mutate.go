@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"prague/internal/graph"
+	"prague/internal/store"
+)
+
+// Mutate demonstrates online graph mutation with incremental index
+// maintenance: for each store layout it streams a mixed insert/delete
+// workload (reporting mutation throughput — every mutation maintains the
+// owning shard's A²F/A²I id lists incrementally and publishes a new epoch
+// snapshot, never rebuilding), then measures the worst-case similarity
+// query's Run SRT on an idle store versus under sustained ingest. The SRT
+// under ingest degrades only by snapshot-repin and cache-invalidation cost —
+// mutations are copy-on-write, so queries never block on them.
+func (s *Suite) Mutate() error {
+	if err := s.ensureAIDSQueries(); err != nil {
+		return err
+	}
+	wq := s.aidsQueries[1] // worst-case pick, like the SRT figures
+	s.header("Online mutation: throughput and Run SRT under ingest vs shard count (AIDS-like)")
+	s.printf("%-9s %12s %14s %14s %9s\n", "shards", "mut/s", "idle SRT(ms)", "ingest SRT(ms)", "epoch")
+
+	mutations := 200 + int(float64(2000)*s.cfg.Scale)
+	for _, n := range []int{1, 4, 8} {
+		var (
+			st  store.Store
+			err error
+		)
+		if n == 1 {
+			st, err = store.NewMem(s.aidsDB, s.aidsIdx)
+		} else {
+			st, err = store.NewSharded(s.aidsDB, s.aidsIdx, n)
+		}
+		if err != nil {
+			return err
+		}
+
+		// Throughput phase: alternate inserts (clones of existing graphs, so
+		// the insert cost matches the mined population) and deletes.
+		t0 := time.Now()
+		if err := streamMutations(st, s.aidsDB, mutations); err != nil {
+			return err
+		}
+		elapsed := time.Since(t0)
+		throughput := float64(mutations) / sec(elapsed)
+
+		_, idle, err := shardRunOnce(st, wq, s.cfg.Sigma)
+		if err != nil {
+			return err
+		}
+
+		// Ingest phase: a mutator streams mutations while the query runs.
+		stop := make(chan struct{})
+		ingestDone := make(chan error, 1)
+		go func() {
+			var derr error
+			for i := 0; derr == nil; i++ {
+				select {
+				case <-stop:
+					ingestDone <- nil
+					return
+				default:
+					derr = streamMutations(st, s.aidsDB, 2)
+				}
+			}
+			ingestDone <- derr
+		}()
+		_, ingest, err := shardRunOnce(st, wq, s.cfg.Sigma)
+		close(stop)
+		if werr := <-ingestDone; err == nil {
+			err = werr
+		}
+		if err != nil {
+			return err
+		}
+
+		s.printf("%-9d %12.0f %14.3f %14.3f %9d\n", n, throughput, ms(idle), ms(ingest), st.Epoch())
+	}
+	s.printf("(mut/s = incremental InsertGraph/DeleteGraph per second; ingest SRT runs while a mutator streams; epoch = mutations committed)\n")
+	return nil
+}
+
+// streamMutations applies n mutations to st: alternating inserts (clones of
+// database graphs) and deletes of the oldest live id, keeping the live count
+// roughly constant.
+func streamMutations(st store.Store, db []*graph.Graph, n int) error {
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			if _, err := st.InsertGraph(db[i%len(db)].Clone()); err != nil {
+				return fmt.Errorf("insert %d: %w", i, err)
+			}
+		} else {
+			live := st.LiveIDs()
+			if err := st.DeleteGraph(live[0]); err != nil {
+				return fmt.Errorf("delete %d: %w", i, err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,177 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+
+	"prague/internal/graph"
+)
+
+// rebuildDump is the oracle view: every list reconstructed from scratch over
+// the given live ids.
+func rebuildDump(s *Set, ids []int, db []*graph.Graph) string {
+	return s.RebuildLists(ids, func(id int) *graph.Graph { return db[id] }).DumpLists()
+}
+
+func TestContainedInMatchesDirectScan(t *testing.T) {
+	db := testDB(t, 7, 30)
+	set, _ := buildSet(t, db, 0.25, 2)
+	for _, g := range db {
+		a2f, a2i := set.ContainedIn(g)
+		fset := map[int]bool{}
+		for _, i := range a2f {
+			fset[i] = true
+		}
+		for i := 0; i < set.A2F.NumEntries(); i++ {
+			want := graph.SubgraphIsomorphic(set.A2F.Fragment(i), g)
+			if fset[i] != want {
+				t.Fatalf("graph %d, a2f entry %d: ContainedIn=%v direct=%v", g.ID, i, fset[i], want)
+			}
+		}
+		iset := map[int]bool{}
+		for _, i := range a2i {
+			iset[i] = true
+		}
+		for i := 0; i < set.A2I.NumEntries(); i++ {
+			want := graph.SubgraphIsomorphic(set.A2I.Fragment(i), g)
+			if iset[i] != want {
+				t.Fatalf("graph %d, a2i entry %d: ContainedIn=%v direct=%v", g.ID, i, iset[i], want)
+			}
+		}
+	}
+}
+
+func TestInitialBuildMatchesRebuild(t *testing.T) {
+	db := testDB(t, 3, 25)
+	set, _ := buildSet(t, db, 0.25, 2)
+	ids := make([]int, len(db))
+	for i := range ids {
+		ids[i] = i
+	}
+	if got, want := set.DumpLists(), rebuildDump(set, ids, db); got != want {
+		t.Fatalf("built set's lists differ from from-scratch rebuild:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+func TestIncrementalScriptMatchesRebuild(t *testing.T) {
+	// Build over a prefix, then replay a deterministic interleaved
+	// insert/delete script; after every step the surgically-maintained lists
+	// must be byte-identical to a from-scratch rebuild over the live ids.
+	all := testDB(t, 11, 40)
+	base := 25
+	set, _ := buildSet(t, all[:base], 0.25, 2)
+
+	r := rand.New(rand.NewSource(99))
+	live := map[int]bool{}
+	for i := 0; i < base; i++ {
+		live[i] = true
+	}
+	next := base
+	for step := 0; step < 25; step++ {
+		if next < len(all) && (len(live) == 0 || r.Intn(2) == 0) {
+			g := all[next]
+			a2f, a2i := set.ContainedIn(g)
+			set = set.ApplyInsert(g.ID, a2f, a2i)
+			live[g.ID] = true
+			next++
+		} else {
+			var ids []int
+			for id := range live {
+				ids = append(ids, id)
+			}
+			if len(ids) == 0 {
+				continue
+			}
+			victim := ids[r.Intn(len(ids))]
+			set, _, _ = set.ApplyDelete(victim)
+			delete(live, victim)
+		}
+		var ids []int
+		for id := 0; id < len(all); id++ {
+			if live[id] {
+				ids = append(ids, id)
+			}
+		}
+		if got, want := set.DumpLists(), rebuildDump(set, ids, all); got != want {
+			t.Fatalf("step %d: incremental lists diverged from rebuild:\n got: %s\nwant: %s", step, got, want)
+		}
+		if set.NumGraphs != len(ids) {
+			t.Fatalf("step %d: NumGraphs=%d, live=%d", step, set.NumGraphs, len(ids))
+		}
+	}
+}
+
+func TestCopyOnWriteLeavesOldSetIntact(t *testing.T) {
+	db := testDB(t, 5, 20)
+	set, _ := buildSet(t, db, 0.25, 2)
+	before := set.DumpLists()
+
+	extra := testDB(t, 6, 21)[20]
+	a2f, a2i := set.ContainedIn(extra)
+	if len(a2f) == 0 {
+		t.Fatalf("test graph shares no fragment with the vocabulary; pick a richer seed")
+	}
+	mutated := set.ApplyInsert(extra.ID, a2f, a2i)
+	if set.DumpLists() != before {
+		t.Fatal("ApplyInsert mutated the receiver set")
+	}
+	if mutated.DumpLists() == before {
+		t.Fatal("ApplyInsert returned an unchanged set for a contained graph")
+	}
+
+	reverted, _, _ := mutated.ApplyDelete(extra.ID)
+	if got := reverted.DumpLists(); got != before {
+		t.Fatalf("insert+delete did not round-trip:\n got: %s\nwant: %s", got, before)
+	}
+	if mutated.DumpLists() == before {
+		t.Fatal("ApplyDelete mutated its receiver")
+	}
+}
+
+func TestApplyDeleteReportsRemovals(t *testing.T) {
+	db := testDB(t, 8, 20)
+	set, _ := buildSet(t, db, 0.25, 2)
+	victim := 7
+	_, removedF, removedI := set.ApplyDelete(victim)
+	for i := 0; i < set.A2F.NumEntries(); i++ {
+		want := graph.SubgraphIsomorphic(set.A2F.Fragment(i), db[victim])
+		got := false
+		for _, id := range removedF {
+			if id == i {
+				got = true
+			}
+		}
+		if got != want {
+			t.Fatalf("a2f entry %d: removed=%v contained=%v", i, got, want)
+		}
+	}
+	for i := 0; i < set.A2I.NumEntries(); i++ {
+		want := graph.SubgraphIsomorphic(set.A2I.Fragment(i), db[victim])
+		got := false
+		for _, id := range removedI {
+			if id == i {
+				got = true
+			}
+		}
+		if got != want {
+			t.Fatalf("a2i entry %d: removed=%v contained=%v", i, got, want)
+		}
+	}
+}
+
+func TestDIFParentsAreFrequentMaximalSubgraphs(t *testing.T) {
+	db := testDB(t, 9, 25)
+	set, _ := buildSet(t, db, 0.25, 2)
+	for i := 0; i < set.A2I.NumEntries(); i++ {
+		d := set.A2I.Fragment(i)
+		for _, p := range set.DIFParents(i) {
+			pf := set.A2F.Fragment(p)
+			if pf.Size() != d.Size()-1 {
+				t.Fatalf("dif %d: parent %d has size %d, want %d", i, p, pf.Size(), d.Size()-1)
+			}
+			if !graph.SubgraphIsomorphic(pf, d) {
+				t.Fatalf("dif %d: parent %d is not a subgraph", i, p)
+			}
+		}
+	}
+}

@@ -85,6 +85,12 @@ type cluster struct {
 type A2I struct {
 	entries []*mining.Fragment
 	byCode  map[string]int
+
+	// parents caches, per DIF, the a2f entry ids of its maximal proper
+	// connected subgraphs (dynamic.go). Computed once per vocabulary under
+	// the store's mutation serialization and shared by copy-on-write
+	// descendants; concurrent readers never touch it.
+	parents [][]int
 }
 
 // Set bundles the two action-aware indexes plus the parameters they were

@@ -65,11 +65,19 @@ const (
 	CounterShardGraphsMin = "shard_graphs_min" // smallest shard's graph count
 	CounterShardGraphsMax = "shard_graphs_max" // largest shard's graph count
 
+	// Online mutation counters (Service.InsertGraph / Service.DeleteGraph).
+	// The epoch
+	// is a level gauge: the store's current epoch after the last mutation.
+	CounterGraphsInserted = "graphs_inserted" // data graphs inserted online
+	CounterGraphsDeleted  = "graphs_deleted"  // data graphs deleted online
+	CounterStoreEpoch     = "store_epoch"     // current store epoch (gauge-like)
+
 	// Histograms (durations).
 	HistSpigBuild    = "spig_build"   // SPIG construction per formulation step
 	HistStepEval     = "step_eval"    // candidate maintenance per formulation step
 	HistSRT          = "srt"          // system response time (work after Run)
 	HistModification = "modification" // query-modification handling time
+	HistMutation     = "mutation"     // store mutation latency (insert or delete)
 
 	// HistPhasePrefix prefixes the per-phase histograms fed by trace spans:
 	// one histogram per span kind (phase_spig_build, phase_verify_batch, ...)

@@ -20,6 +20,7 @@ import (
 // Engine scans a database without any index.
 type Engine struct {
 	db      []*graph.Graph
+	st      store.Store // live-store mode: enumerate per query (nil for New)
 	workers int
 }
 
@@ -41,18 +42,37 @@ func New(db []*graph.Graph, workers int) (*Engine, error) {
 }
 
 // NewFromStore creates a scan engine over every graph owned by the store's
-// shards, in shard order. The scan itself stays layout-independent — results
-// are sorted by distance then id regardless of how the store partitions the
-// database — which is exactly what makes it a fair oracle for sharded
-// engines.
+// shards, in shard order. The engine keeps the store and re-enumerates its
+// live graphs on every query, so it stays a ground-truth oracle across
+// online mutation: after an InsertGraph or DeleteGraph the next scan sees
+// exactly the store's current database. Enumerating through the shards (not
+// LiveIDs) also means a wrong shard assignment poisons the oracle and fails
+// loudly. The scan itself stays layout-independent — results are sorted by
+// distance then id regardless of how the store partitions the database —
+// which is exactly what makes it a fair oracle for sharded engines.
 func NewFromStore(st store.Store, workers int) (*Engine, error) {
+	if st == nil {
+		return nil, fmt.Errorf("naivescan: nil store")
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return &Engine{st: st, workers: workers}, nil
+}
+
+// graphs returns the database to scan: the fixed slice for New engines, or
+// the store's current live graphs (in shard order) for NewFromStore engines.
+func (e *Engine) graphs() []*graph.Graph {
+	if e.st == nil {
+		return e.db
+	}
 	var db []*graph.Graph
-	for i := 0; i < st.NumShards(); i++ {
-		for _, id := range st.Shard(i).GraphIDs() {
-			db = append(db, st.Graph(id))
+	for i := 0; i < e.st.NumShards(); i++ {
+		for _, id := range e.st.Shard(i).GraphIDs() {
+			db = append(db, e.st.Graph(id))
 		}
 	}
-	return New(db, workers)
+	return db
 }
 
 // Containment returns the ids of data graphs containing q, by scanning.
@@ -89,9 +109,10 @@ func (e *Engine) Similarity(q *graph.Graph, sigma int) ([]Result, time.Duration)
 // scan applies check to every data graph, optionally in parallel, and
 // returns the accepted (id, distance) pairs sorted by distance then id.
 func (e *Engine) scan(check func(g *graph.Graph) (int, bool)) []Result {
+	db := e.graphs()
 	var out []Result
 	if e.workers <= 1 {
-		for _, g := range e.db {
+		for _, g := range db {
 			if d, ok := check(g); ok {
 				out = append(out, Result{GraphID: g.ID, Distance: d})
 			}
@@ -113,7 +134,7 @@ func (e *Engine) scan(check func(g *graph.Graph) (int, bool)) []Result {
 				}
 			}()
 		}
-		for _, g := range e.db {
+		for _, g := range db {
 			next <- g
 		}
 		close(next)

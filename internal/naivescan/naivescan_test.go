@@ -5,6 +5,9 @@ import (
 	"testing"
 
 	"prague/internal/graph"
+	"prague/internal/index"
+	"prague/internal/mining"
+	"prague/internal/store"
 )
 
 func fixture(seed int64, n int) []*graph.Graph {
@@ -111,5 +114,72 @@ func TestParallelMatchesSequential(t *testing.T) {
 	cb, _ := par.Containment(q)
 	if len(ca) != len(cb) {
 		t.Fatal("containment differs")
+	}
+}
+
+func TestStoreOracleTracksMutation(t *testing.T) {
+	db := fixture(5, 30)
+	res, err := mining.Mine(db, mining.Options{MinSupportRatio: 0.3, MaxSize: 3, IncludeZeroSupportPairs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := index.Build(res, 0.3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.NewSharded(db, idx, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFromStore(nil, 1); err == nil {
+		t.Error("nil store accepted")
+	}
+	live, err := NewFromStore(st, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query()
+
+	fixed, _ := New(db, 1)
+	want, _ := fixed.Containment(q)
+	got, _ := live.Containment(q)
+	if len(got) != len(want) {
+		t.Fatalf("pre-mutation: live oracle %d matches, fixed %d", len(got), len(want))
+	}
+
+	// Insert a clone of a matching graph: the next scan must see it.
+	var matchID int
+	if len(want) == 0 {
+		t.Fatal("fixture has no containment match")
+	}
+	matchID = want[0]
+	newID, err := st.InsertGraph(st.Graph(matchID).Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ = live.Containment(q)
+	if len(got) != len(want)+1 {
+		t.Fatalf("post-insert: %d matches, want %d", len(got), len(want)+1)
+	}
+	found := false
+	for _, id := range got {
+		found = found || id == newID
+	}
+	if !found {
+		t.Fatalf("inserted graph %d not surfaced by live oracle: %v", newID, got)
+	}
+
+	// Delete the original match: the next scan must drop it.
+	if err := st.DeleteGraph(matchID); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = live.Containment(q)
+	for _, id := range got {
+		if id == matchID {
+			t.Fatalf("deleted graph %d still surfaced: %v", matchID, got)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("post-delete: %d matches, want %d", len(got), len(want))
 	}
 }

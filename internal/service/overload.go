@@ -70,20 +70,13 @@ func (ss *Session) admit() (release func(), err error) {
 	} else {
 		ss.pending.Add(1)
 	}
-	if s.inflight != nil {
-		select {
-		case s.inflight <- struct{}{}:
-		default:
-			ss.pending.Add(-1)
-			s.shed("global")
-			return nil, fmt.Errorf("service: %w",
-				&OverloadError{Scope: "global", RetryAfter: s.retryAfterHint()})
-		}
+	releaseGlobal, err := s.admitGlobal()
+	if err != nil {
+		ss.pending.Add(-1)
+		return nil, err
 	}
 	return func() {
-		if s.inflight != nil {
-			<-s.inflight
-		}
+		releaseGlobal()
 		ss.pending.Add(-1)
 	}, nil
 }

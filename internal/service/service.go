@@ -1,10 +1,13 @@
 // Package service multiplexes many concurrent PRAGUE formulation sessions
-// over one immutable (database, indexes) pair — the layer between a visual
-// front-end fleet and the single-user core engine. A Service owns a shared
-// bounded verification worker pool (so total verification concurrency stays
-// fixed no matter how many users are formulating), id-addressed sessions
-// with per-session mutexes, an idle-session janitor, and a metrics registry
-// observing every step.
+// over one graph store — the layer between a visual front-end fleet and the
+// single-user core engine. A Service owns a shared bounded verification
+// worker pool (so total verification concurrency stays fixed no matter how
+// many users are formulating), id-addressed sessions with per-session
+// mutexes, an idle-session janitor, and a metrics registry observing every
+// step. The store is a live handle: Service.InsertGraph and Service.DeleteGraph mutate
+// the database online with incremental index maintenance, publishing epoch
+// snapshots that in-flight sessions are pinned against — every action
+// observes exactly one epoch.
 //
 // Relative to the bare core.Engine, the service also enforces the explicit
 // formulation protocol: Run on a session whose exact candidate set emptied
@@ -116,8 +119,11 @@ func WithCandidateCache(bytes int64) Option { return func(o *Options) { o.CandCa
 func WithClock(c clock.Clock) Option { return func(o *Options) { o.Clock = c } }
 
 // WithStore serves sessions from a pre-built graph store (e.g. a sharded
-// store loaded from its persisted per-shard layout). The db and idx
-// arguments of New are ignored; the store must not be mutated afterwards.
+// store loaded from its persisted per-shard layout); NewFromStore is the
+// shorthand. The db and idx arguments of New are ignored and deprecated when
+// this option is present. While the service is live, mutate the store through
+// Service.InsertGraph / Service.DeleteGraph rather than directly, so mutations pass
+// admission control and land in the metrics.
 func WithStore(st store.Store) Option { return func(o *Options) { o.Store = st } }
 
 // WithShards hash-partitions the database and its action-aware indexes into
@@ -206,8 +212,23 @@ type Service struct {
 	janitorDone chan struct{}
 }
 
-// New builds a service over the database and indexes. The database and
-// indexes must not be mutated afterwards; sessions share them.
+// NewFromStore builds a service directly over a graph store — the primary
+// construction path: the store is the one handle for the database, its
+// indexes, and online mutation. Monolithic (store.NewMem), hash-partitioned
+// (store.NewSharded), and reloaded (store.LoadMem / store.LoadSharded)
+// stores all serve identically.
+func NewFromStore(st store.Store, opts ...Option) (*Service, error) {
+	if st == nil {
+		return nil, fmt.Errorf("service: nil store: %w", core.ErrNilIndex)
+	}
+	return New(nil, nil, append(append([]Option(nil), opts...), WithStore(st))...)
+}
+
+// New builds a service over the database and indexes, wrapping them in a
+// monolithic store (or a sharded one under WithShards). New is the thin
+// compatibility path; NewFromStore is primary. When WithStore is also
+// passed, db and idx are redundant and ignored — pass them as nil or migrate
+// to NewFromStore.
 func New(db []*graph.Graph, idx *index.Set, opts ...Option) (*Service, error) {
 	opt := Options{Sigma: 3, SessionTTL: 30 * time.Minute, CandCache: DefaultCandCacheBytes}
 	for _, o := range opts {

@@ -133,6 +133,16 @@ func NewSet(idx Classifier) *Set {
 	return &Set{spigs: map[int]*SPIG{}, idx: idx}
 }
 
+// SetClassifier rebinds the set to a different classifier — typically an
+// epoch snapshot pinned by the engine, so every vertex built during one GUI
+// action classifies against a single store state. Existing vertices keep the
+// classification of the epoch they were built under; that is sound because
+// evaluation relies on the exactness of the index id lists, never on a
+// vertex's frozen Kind (a stale-frequent fragment's FSG list is still its
+// exact answer set, and a masked fragment merely degrades to the verified
+// NIF path).
+func (S *Set) SetClassifier(idx Classifier) { S.idx = idx }
+
 // Spig returns the SPIG for edge label ℓ, or nil.
 func (S *Set) Spig(ell int) *SPIG { return S.spigs[ell] }
 

@@ -55,3 +55,44 @@ func FuzzShardMerge(f *testing.F) {
 		}
 	})
 }
+
+// FuzzIncrementalIndex drives a random insert/delete edit script against a
+// sharded store and asserts the tentpole equivalence: after every script the
+// surgically maintained per-shard A²F delta lists and A²I id-lists are
+// byte-identical to a from-scratch rebuild over the frozen vocabulary, and
+// the negative-border masks match the rebuilt supports. Each input byte is
+// one edit: low bit picks insert vs delete, the rest select the inserted
+// graph shape or the delete victim.
+func FuzzIncrementalIndex(f *testing.F) {
+	f.Add([]byte{}, uint8(1))
+	f.Add([]byte{0, 2, 4, 1, 3}, uint8(3))
+	f.Add([]byte{255, 254, 253, 0, 1, 2, 7, 8, 9, 16}, uint8(4))
+
+	f.Fuzz(func(t *testing.T, script []byte, nshards uint8) {
+		if len(script) > 24 {
+			script = script[:24]
+		}
+		n := int(nshards%4) + 1
+		db := testDB(t, 31, 18)
+		st, err := NewSharded(db, buildIndex(t, db, 0.25, 2), n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step, b := range script {
+			if b&1 == 0 {
+				if _, err := st.InsertGraph(extraGraph(int64(b)>>1 + int64(step)<<8)); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				live := st.LiveIDs()
+				if len(live) <= 1 {
+					continue
+				}
+				if err := st.DeleteGraph(live[int(b>>1)%len(live)]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		checkIncrementalAgainstRebuild(t, st)
+	})
+}

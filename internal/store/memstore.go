@@ -7,66 +7,70 @@ import (
 	"prague/internal/index"
 )
 
-// Mem is the monolithic store: one flat graph slice and one shared index
-// set — exactly the layout the engine was originally built around. It is its
-// own single shard, so shard-generic callers need no special case.
+// Mem is the monolithic store: one flat graph slot table and one shared
+// index set, held as a single shard so shard-generic callers need no special
+// case. Like every store it is mutable: InsertGraph/DeleteGraph maintain the
+// index lists incrementally and publish epoch snapshots.
 type Mem struct {
-	db  []*graph.Graph
-	idx *index.Set
-	ids []int // cached 0..len(db)-1
+	base
 }
 
-// NewMem wraps a database and its indexes as a single-shard store.
+// NewMem wraps a database and its indexes as a single-shard store. The
+// database must be non-empty with dense ids and the index set non-nil. The
+// store takes ownership of both: the index set is sealed (DF clusters
+// loaded, list memos materialized) so snapshots can share entries safely.
 func NewMem(db []*graph.Graph, idx *index.Set) (*Mem, error) {
 	if err := Validate(db, idx); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	ids := make([]int, len(db))
-	for i := range ids {
-		ids[i] = i
-	}
-	return &Mem{db: db, idx: idx, ids: ids}, nil
+	return newMemAt(db, idx, 0)
 }
 
-// LoadMem loads a persisted monolithic index layout (one index.Save
-// directory) over the given database.
+func newMemAt(db []*graph.Graph, idx *index.Set, epoch uint64) (*Mem, error) {
+	graphs := append([]*graph.Graph(nil), db...)
+	ids := liveByShard(graphs, 1)[0]
+	sh := &shardSnap{id: 0, ids: ids, set: idx}
+	m := &Mem{}
+	m.cur.Store(newSnap("m", graphs, []*shardSnap{sh}, minSupportOf(idx.Alpha, idx.NumGraphs), epoch, ""))
+	return m, nil
+}
+
+// Save persists the index layout plus a store manifest recording the epoch,
+// the frozen support threshold, and the tombstoned ids.
+func (m *Mem) Save(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.cur.Load()
+	if err := s.shards[0].set.Save(dir); err != nil {
+		return err
+	}
+	return writeStoreManifest(dir, s, 1)
+}
+
+// LoadMem loads a persisted monolithic layout over the given database. The
+// slot table must match what was saved: len(db) equals the persisted slot
+// count, with tombstoned slots allowed to be nil (they are forced nil
+// regardless). Layouts saved before the store manifest existed load at
+// epoch 0 with no tombstones.
 func LoadMem(db []*graph.Graph, dir string) (*Mem, error) {
 	idx, err := index.Load(dir)
 	if err != nil {
 		return nil, err
 	}
-	return NewMem(db, idx)
+	man, err := readStoreManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	if man == nil {
+		return NewMem(db, idx)
+	}
+	graphs, err := applyManifestSlots(db, man, 1)
+	if err != nil {
+		return nil, err
+	}
+	ids := liveByShard(graphs, 1)[0]
+	sh := &shardSnap{id: 0, ids: ids, set: idx}
+	m := &Mem{}
+	m.cur.Store(newSnap("m", graphs, []*shardSnap{sh}, man.MinSup, man.Epoch, man.Fingerprint))
+	return m, nil
 }
-
-// NumGraphs returns the database size.
-func (m *Mem) NumGraphs() int { return len(m.db) }
-
-// Graph returns the data graph with the given identifier.
-func (m *Mem) Graph(id int) *graph.Graph { return m.db[id] }
-
-// Lookup classifies a canonical code against the indexes.
-func (m *Mem) Lookup(code string) (index.Kind, int) { return m.idx.Lookup(code) }
-
-// NumShards is 1: the monolithic layout is a single partition.
-func (m *Mem) NumShards() int { return 1 }
-
-// Shard returns the store itself: Mem is its own only shard.
-func (m *Mem) Shard(i int) Shard { return m }
-
-// ShardOf is always 0.
-func (m *Mem) ShardOf(graphID int) int { return 0 }
-
-// CacheTag identifies the monolithic layout in shared-cache keys.
-func (m *Mem) CacheTag() string { return "m" }
-
-// Save persists the index set (the classic single-directory layout).
-func (m *Mem) Save(dir string) error { return m.idx.Save(dir) }
-
-// ID implements Shard.
-func (m *Mem) ID() int { return 0 }
-
-// GraphIDs returns 0..NumGraphs-1. The slice is owned by the store.
-func (m *Mem) GraphIDs() []int { return m.ids }
-
-// Index returns the shared index set.
-func (m *Mem) Index() *index.Set { return m.idx }

@@ -1,0 +1,391 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"prague/internal/graph"
+	"prague/internal/intset"
+)
+
+// extraGraph derives a fresh connected insertable graph from a seed (ids are
+// assigned by the store, so the initial id is irrelevant).
+func extraGraph(seed int64) *graph.Graph {
+	r := rand.New(rand.NewSource(seed))
+	labels := []string{"C", "C", "N", "O"}
+	nodes := 2 + r.Intn(6)
+	g := graph.New(-1)
+	for v := 0; v < nodes; v++ {
+		g.AddNode(labels[r.Intn(len(labels))])
+	}
+	for v := 1; v < nodes; v++ {
+		g.MustAddEdge(v, r.Intn(v))
+	}
+	return g
+}
+
+// checkIncrementalAgainstRebuild pins the tentpole acceptance criterion:
+// after any edit script, every shard's surgically maintained A²F/A²I lists
+// are byte-identical to a from-scratch rebuild over the shard's live graphs,
+// and the negative-border masks equal the masks derived from those rebuilt
+// supports.
+func checkIncrementalAgainstRebuild(t *testing.T, st Store) {
+	t.Helper()
+	s := st.Pin().(*snap)
+	rebuiltSupF := make([]int, len(s.supF))
+	rebuiltSupI := make([]int, len(s.supI))
+	for _, sh := range s.shards {
+		rebuilt := sh.set.RebuildLists(sh.ids, func(id int) *graph.Graph { return s.graphs[id] })
+		if got, want := sh.set.DumpLists(), rebuilt.DumpLists(); got != want {
+			t.Fatalf("shard %d: incremental lists diverge from rebuild:\n got: %s\nwant: %s", sh.id, got, want)
+		}
+		for i := range rebuiltSupF {
+			rebuiltSupF[i] += len(rebuilt.A2F.FSGIds(i))
+		}
+		for i := range rebuiltSupI {
+			rebuiltSupI[i] += len(rebuilt.A2I.FSGIds(i))
+		}
+	}
+	for i := range rebuiltSupF {
+		if s.supF[i] != rebuiltSupF[i] {
+			t.Fatalf("a2f entry %d: maintained support %d, rebuilt %d", i, s.supF[i], rebuiltSupF[i])
+		}
+		if s.maskF[i] != (rebuiltSupF[i] < s.minSup) {
+			t.Fatalf("a2f entry %d: mask %v inconsistent with support %d (minSup %d)",
+				i, s.maskF[i], rebuiltSupF[i], s.minSup)
+		}
+	}
+	for i := range rebuiltSupI {
+		if s.supI[i] != rebuiltSupI[i] {
+			t.Fatalf("a2i entry %d: maintained support %d, rebuilt %d", i, s.supI[i], rebuiltSupI[i])
+		}
+	}
+}
+
+func TestMutationLockstepAcrossLayouts(t *testing.T) {
+	db := testDB(t, 21, 30)
+	idx := buildIndex(t, db, 0.25, 2)
+	mem, err := NewMem(db, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shd, err := NewSharded(db, buildIndex(t, db, 0.25, 2), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := rand.New(rand.NewSource(5))
+	for step := 0; step < 20; step++ {
+		live := mem.LiveIDs()
+		if r.Intn(2) == 0 || len(live) < 5 {
+			id1, err1 := mem.InsertGraph(extraGraph(int64(step)))
+			id2, err2 := shd.InsertGraph(extraGraph(int64(step)))
+			if err1 != nil || err2 != nil {
+				t.Fatalf("step %d: insert errors %v / %v", step, err1, err2)
+			}
+			if id1 != id2 {
+				t.Fatalf("step %d: layouts assigned different ids %d / %d", step, id1, id2)
+			}
+		} else {
+			victim := live[r.Intn(len(live))]
+			if err := mem.DeleteGraph(victim); err != nil {
+				t.Fatalf("step %d: mem delete: %v", step, err)
+			}
+			if err := shd.DeleteGraph(victim); err != nil {
+				t.Fatalf("step %d: sharded delete: %v", step, err)
+			}
+		}
+		if !intset.Equal(mem.LiveIDs(), shd.LiveIDs()) {
+			t.Fatalf("step %d: live universes diverged", step)
+		}
+		if mem.Epoch() != shd.Epoch() || mem.Epoch() != uint64(step+1) {
+			t.Fatalf("step %d: epochs %d / %d", step, mem.Epoch(), shd.Epoch())
+		}
+		// Classification (including negative-border masking) is derived from
+		// global supports, so it must be layout-independent.
+		vocab := mem.Pin().(*snap).shards[0].set
+		for i := 0; i < vocab.A2F.NumEntries(); i++ {
+			code := vocab.A2F.Code(i)
+			mk, mid := mem.Lookup(code)
+			sk, sid := shd.Lookup(code)
+			if mk != sk || mid != sid {
+				t.Fatalf("step %d: Lookup(%q) = (%v,%d) mem vs (%v,%d) sharded", step, code, mk, mid, sk, sid)
+			}
+		}
+		// Merged sharded lists reconstruct the monolithic lists exactly.
+		memSet := mem.Pin().Shard(0).Index()
+		for i := 0; i < memSet.A2F.NumEntries(); i++ {
+			parts := make([][]int, shd.NumShards())
+			for si := 0; si < shd.NumShards(); si++ {
+				parts[si] = shd.Pin().Shard(si).Index().A2F.FSGIds(i)
+			}
+			if !intset.Equal(MergeSorted(parts), memSet.A2F.FSGIds(i)) {
+				t.Fatalf("step %d: a2f entry %d: merged shard lists diverge from monolithic", step, i)
+			}
+		}
+		checkIncrementalAgainstRebuild(t, mem)
+		checkIncrementalAgainstRebuild(t, shd)
+	}
+}
+
+func TestMutationValidation(t *testing.T) {
+	db := testDB(t, 22, 8)
+	st, err := NewMem(db, buildIndex(t, db, 0.3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.InsertGraph(nil); !errors.Is(err, ErrBadGraph) {
+		t.Errorf("InsertGraph(nil) = %v, want ErrBadGraph", err)
+	}
+	if _, err := st.InsertGraph(graph.New(-1)); !errors.Is(err, ErrBadGraph) {
+		t.Errorf("InsertGraph(empty) = %v, want ErrBadGraph", err)
+	}
+	disconnected := graph.New(-1)
+	disconnected.AddNode("C")
+	disconnected.AddNode("C")
+	if _, err := st.InsertGraph(disconnected); !errors.Is(err, ErrBadGraph) {
+		t.Errorf("InsertGraph(disconnected) = %v, want ErrBadGraph", err)
+	}
+	if err := st.DeleteGraph(99); !errors.Is(err, ErrNoSuchGraph) {
+		t.Errorf("DeleteGraph(99) = %v, want ErrNoSuchGraph", err)
+	}
+	if err := st.DeleteGraph(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.DeleteGraph(3); !errors.Is(err, ErrNoSuchGraph) {
+		t.Errorf("double delete = %v, want ErrNoSuchGraph", err)
+	}
+	if st.Graph(3) != nil {
+		t.Error("deleted slot still holds a graph")
+	}
+	for _, id := range st.LiveIDs() {
+		if id == 3 {
+			t.Error("deleted id still live")
+		}
+	}
+	// Draining the store entirely is refused: every layer assumes a
+	// non-empty database.
+	for _, id := range append([]int(nil), st.LiveIDs()...) {
+		last := len(st.LiveIDs()) == 1
+		err := st.DeleteGraph(id)
+		if last {
+			if !errors.Is(err, ErrEmptyDatabase) {
+				t.Fatalf("deleting the last graph = %v, want ErrEmptyDatabase", err)
+			}
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPinnedSnapshotIsolation(t *testing.T) {
+	db := testDB(t, 23, 15)
+	st, err := NewSharded(db, buildIndex(t, db, 0.25, 2), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned := st.Pin()
+	tag0 := pinned.CacheTag()
+	live0 := append([]int(nil), pinned.LiveIDs()...)
+	lists0 := make([]string, pinned.NumShards())
+	for i := range lists0 {
+		lists0[i] = pinned.Shard(i).Index().DumpLists()
+	}
+
+	if _, err := st.InsertGraph(extraGraph(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.DeleteGraph(live0[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	if pinned.Epoch() != 0 {
+		t.Fatalf("pinned epoch changed to %d", pinned.Epoch())
+	}
+	if pinned.CacheTag() != tag0 {
+		t.Fatalf("pinned CacheTag changed: %q -> %q", tag0, pinned.CacheTag())
+	}
+	if !intset.Equal(pinned.LiveIDs(), live0) {
+		t.Fatal("pinned live universe changed under mutation")
+	}
+	if pinned.Graph(live0[0]) == nil {
+		t.Fatal("pinned snapshot lost a graph deleted in a later epoch")
+	}
+	for i := range lists0 {
+		if pinned.Shard(i).Index().DumpLists() != lists0[i] {
+			t.Fatalf("pinned shard %d lists changed under mutation", i)
+		}
+	}
+	if st.Epoch() != 2 || st.CacheTag() == tag0 {
+		t.Fatalf("store epoch %d tag %q; mutations must re-tag", st.Epoch(), st.CacheTag())
+	}
+}
+
+func TestMutatedPersistRoundTrip(t *testing.T) {
+	db := testDB(t, 24, 20)
+	for name, build := range map[string]func() (Store, error){
+		"mem": func() (Store, error) { return NewMem(db, buildIndex(t, db, 0.25, 2)) },
+		"sharded": func() (Store, error) {
+			return NewSharded(db, buildIndex(t, db, 0.25, 2), 3)
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			st, err := build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var inserted []*graph.Graph
+			for i := 0; i < 4; i++ {
+				g := extraGraph(int64(100 + i))
+				if _, err := st.InsertGraph(g); err != nil {
+					t.Fatal(err)
+				}
+				inserted = append(inserted, g)
+			}
+			for _, id := range []int{2, 7, 21} {
+				if err := st.DeleteGraph(id); err != nil {
+					t.Fatal(err)
+				}
+			}
+			dir := filepath.Join(t.TempDir(), "layout")
+			if err := st.Save(dir); err != nil {
+				t.Fatal(err)
+			}
+
+			// The loader gets the full slot table (deleted slots may be nil).
+			slots := append(append([]*graph.Graph(nil), db...), inserted...)
+			var loaded Store
+			if name == "mem" {
+				loaded, err = LoadMem(slots, dir)
+			} else {
+				loaded, err = LoadSharded(slots, dir)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if loaded.Epoch() != st.Epoch() {
+				t.Fatalf("loaded epoch %d, want %d", loaded.Epoch(), st.Epoch())
+			}
+			if loaded.CacheTag() != st.CacheTag() {
+				t.Fatalf("loaded CacheTag %q, want %q (same content must share cache entries)",
+					loaded.CacheTag(), st.CacheTag())
+			}
+			if !intset.Equal(loaded.LiveIDs(), st.LiveIDs()) {
+				t.Fatal("loaded live universe differs")
+			}
+			for i := 0; i < st.NumShards(); i++ {
+				if got, want := loaded.Shard(i).Index().DumpLists(), st.Shard(i).Index().DumpLists(); got != want {
+					t.Fatalf("shard %d lists differ after round trip:\n got: %s\nwant: %s", i, got, want)
+				}
+			}
+			// And the loaded store keeps mutating correctly.
+			if _, err := loaded.InsertGraph(extraGraph(999)); err != nil {
+				t.Fatal(err)
+			}
+			checkIncrementalAgainstRebuild(t, loaded)
+		})
+	}
+}
+
+func TestLoadShardedRejectsWrongSlots(t *testing.T) {
+	db := testDB(t, 25, 12)
+	st, err := NewSharded(db, buildIndex(t, db, 0.3, 2), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.DeleteGraph(5); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := st.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSharded(db[:8], dir); !errors.Is(err, ErrManifestMismatch) {
+		t.Errorf("short slot table = %v, want ErrManifestMismatch", err)
+	}
+	bad := append([]*graph.Graph(nil), db...)
+	bad[3] = nil // live slot missing
+	if _, err := LoadSharded(bad, dir); !errors.Is(err, ErrManifestMismatch) {
+		t.Errorf("missing live slot = %v, want ErrManifestMismatch", err)
+	}
+}
+
+// TestMutationStressUnderRace is the mutation stress test verify.sh runs
+// with -race: concurrent readers pin snapshots and walk every structure
+// while a writer publishes epochs, asserting each reader observes exactly
+// one internally consistent epoch per pin.
+func TestMutationStressUnderRace(t *testing.T) {
+	db := testDB(t, 26, 24)
+	st, err := NewSharded(db, buildIndex(t, db, 0.25, 2), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		readers = 4
+		pins    = 60
+		writes  = 40
+	)
+	var wg sync.WaitGroup
+	errc := make(chan error, readers)
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for p := 0; p < pins; p++ {
+				s := st.Pin()
+				epoch, tag := s.Epoch(), s.CacheTag()
+				total := 0
+				for i := 0; i < s.NumShards(); i++ {
+					sh := s.Shard(i)
+					total += sh.NumGraphs()
+					for _, id := range sh.GraphIDs() {
+						if s.Graph(id) == nil {
+							errc <- fmt.Errorf("reader %d: shard %d lists id %d but slot is nil at epoch %d", w, i, id, epoch)
+							return
+						}
+						if s.ShardOf(id) != i {
+							errc <- fmt.Errorf("reader %d: id %d misplaced in shard %d", w, id, i)
+							return
+						}
+					}
+					// Touch the index lists: sealed sets must never race.
+					set := sh.Index()
+					for e := 0; e < set.A2F.NumEntries(); e++ {
+						_ = set.A2F.FSGIds(e)
+					}
+				}
+				if total != len(s.LiveIDs()) {
+					errc <- fmt.Errorf("reader %d: shards own %d graphs, universe has %d (epoch %d)", w, total, len(s.LiveIDs()), epoch)
+					return
+				}
+				if s.Epoch() != epoch || s.CacheTag() != tag {
+					errc <- fmt.Errorf("reader %d: pinned snapshot changed identity mid-action", w)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r := rand.New(rand.NewSource(77))
+		for i := 0; i < writes; i++ {
+			if live := st.LiveIDs(); r.Intn(2) == 0 && len(live) > 5 {
+				_ = st.DeleteGraph(live[r.Intn(len(live))])
+			} else {
+				_, _ = st.InsertGraph(extraGraph(int64(1000 + i)))
+			}
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	checkIncrementalAgainstRebuild(t, st)
+}

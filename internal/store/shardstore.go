@@ -9,27 +9,17 @@ import (
 
 // Sharded hash-partitions the database into n shards, each owning its own
 // A²F/A²I index restricted to the shard's graphs (built concurrently by
-// index.PartitionSets). The full graph slice stays addressable by global id;
-// only the index layout is partitioned. Every shard keeps the complete
-// fragment vocabulary, so classification is identical to the monolithic
-// layout and merged per-shard candidate lists reconstruct the monolithic
-// lists exactly.
+// index.PartitionSets). The full graph slot table stays addressable by
+// global id; only the index layout is partitioned. Every shard keeps the
+// complete fragment vocabulary, so classification is identical to the
+// monolithic layout and merged per-shard candidate lists reconstruct the
+// monolithic lists exactly. Mutations touch only the owning shard's index
+// (the other shards' sets are shared by pointer across epochs), which is
+// what makes mutation throughput scale with shard count.
 type Sharded struct {
-	db     []*graph.Graph
-	shards []*shard
-	stats  index.PartitionStats
+	base
+	stats index.PartitionStats
 }
-
-type shard struct {
-	id  int
-	ids []int // global graph ids, ascending
-	idx *index.Set
-}
-
-func (s *shard) ID() int           { return s.id }
-func (s *shard) NumGraphs() int    { return len(s.ids) }
-func (s *shard) GraphIDs() []int   { return s.ids }
-func (s *shard) Index() *index.Set { return s.idx }
 
 // shardOf is the deterministic graph-id → shard assignment: a 64-bit finalizer
 // mix (splitmix64) mod n. It is a pure function of (id, n), so assignments
@@ -60,50 +50,27 @@ func NewSharded(db []*graph.Graph, idx *index.Set, n int) (*Sharded, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	return assemble(db, sets, stats)
+	minSup := minSupportOf(idx.Alpha, idx.NumGraphs)
+	return assemble(append([]*graph.Graph(nil), db...), sets, stats, minSup, 0, "")
 }
 
 // assemble builds the Sharded from per-shard index sets, deriving each
-// shard's graph-id list from the hash assignment.
-func assemble(db []*graph.Graph, sets []*index.Set, stats index.PartitionStats) (*Sharded, error) {
+// shard's live graph-id list from the hash assignment over non-nil slots.
+func assemble(graphs []*graph.Graph, sets []*index.Set, stats index.PartitionStats, minSup int, epoch uint64, fp string) (*Sharded, error) {
 	n := len(sets)
-	s := &Sharded{db: db, stats: stats}
-	byShard := make([][]int, n)
-	for id := range db {
-		si := shardOf(id, n)
-		byShard[si] = append(byShard[si], id) // ascending by construction
-	}
+	byShard := liveByShard(graphs, n)
+	shards := make([]*shardSnap, n)
 	for i, set := range sets {
 		if set.NumGraphs != len(byShard[i]) {
 			return nil, fmt.Errorf("store: shard %d indexes %d graphs but owns %d: %w",
 				i, set.NumGraphs, len(byShard[i]), ErrManifestMismatch)
 		}
-		s.shards = append(s.shards, &shard{id: i, ids: byShard[i], idx: set})
+		shards[i] = &shardSnap{id: i, ids: byShard[i], set: set}
 	}
+	s := &Sharded{stats: stats}
+	s.cur.Store(newSnap(fmt.Sprintf("s%d", n), graphs, shards, minSup, epoch, fp))
 	return s, nil
 }
-
-// NumGraphs returns the total database size across shards.
-func (s *Sharded) NumGraphs() int { return len(s.db) }
-
-// Graph returns the data graph with the given global identifier.
-func (s *Sharded) Graph(id int) *graph.Graph { return s.db[id] }
-
-// Lookup classifies a canonical code. Every shard carries the full
-// vocabulary, so shard 0 answers for all of them.
-func (s *Sharded) Lookup(code string) (index.Kind, int) { return s.shards[0].idx.Lookup(code) }
-
-// NumShards returns the partition count.
-func (s *Sharded) NumShards() int { return len(s.shards) }
-
-// Shard returns partition i.
-func (s *Sharded) Shard(i int) Shard { return s.shards[i] }
-
-// ShardOf returns the partition owning a global graph id.
-func (s *Sharded) ShardOf(graphID int) int { return shardOf(graphID, len(s.shards)) }
-
-// CacheTag identifies the layout (and its shard count) in shared-cache keys.
-func (s *Sharded) CacheTag() string { return fmt.Sprintf("s%d", len(s.shards)) }
 
 // BuildStats reports how long the partition split and the concurrent
 // per-shard index construction took.

@@ -1,11 +1,21 @@
 // Package store abstracts how the (database, action-aware indexes) pair is
 // laid out behind the engine: monolithic (Mem — one flat graph slice and one
-// index set, today's layout) or hash-partitioned (Sharded — N shards, each
-// owning its own A²F/A²I index built concurrently). Every layer above —
-// candidate maintenance, verification fan-out, caching, persistence, the
-// naive-scan oracle — goes through the Store interface, and per-shard
-// results merge deterministically (sorted by graph id) so both layouts
-// return byte-identical answers.
+// index set) or hash-partitioned (Sharded — N shards, each owning its own
+// A²F/A²I index built concurrently). Every layer above — candidate
+// maintenance, verification fan-out, caching, persistence, the naive-scan
+// oracle — goes through the Store interface, and per-shard results merge
+// deterministically (sorted by graph id) so both layouts return
+// byte-identical answers.
+//
+// Stores are mutable: InsertGraph and DeleteGraph maintain the per-shard
+// index lists incrementally (prague/internal/index dynamic surgery) under
+// epoch-based copy-on-write snapshots. Every mutation publishes a new
+// immutable Snapshot atomically; readers Pin the snapshot their action
+// started in and observe exactly one epoch for the whole action, no matter
+// how many mutations land mid-flight. Graph ids are never reused: a deleted
+// id becomes a tombstone (nil Graph slot) and inserted ids strictly
+// increase, so the id space only grows while LiveIDs tracks the actual
+// universe.
 package store
 
 import (
@@ -17,8 +27,8 @@ import (
 	"prague/internal/intset"
 )
 
-// Sentinel errors shared by the store constructors (and re-exported by the
-// public prague package). Test with errors.Is.
+// Sentinel errors shared by the store constructors and mutators (and
+// re-exported by the public prague package). Test with errors.Is.
 var (
 	// ErrEmptyDatabase: a store needs at least one data graph.
 	ErrEmptyDatabase = errors.New("empty database")
@@ -29,42 +39,82 @@ var (
 	// ErrManifestMismatch: a persisted shard layout does not match the
 	// database (or scheme) it is being loaded against.
 	ErrManifestMismatch = errors.New("shard manifest mismatch")
+	// ErrBadGraph: InsertGraph requires a non-empty connected data graph.
+	ErrBadGraph = errors.New("insert requires a non-empty connected graph")
+	// ErrNoSuchGraph: DeleteGraph's id is out of range or already deleted.
+	ErrNoSuchGraph = errors.New("no such data graph")
 )
 
-// Store is the engine's view of one immutable database + index layout.
-// Implementations are safe for concurrent readers after construction.
-type Store interface {
-	// NumGraphs returns the total number of data graphs (across all shards).
+// Snapshot is one consistent, immutable view of a store: the graph slots,
+// live-id universe, and per-shard index lists as of one epoch. Snapshots are
+// safe for unlimited concurrent readers and never change after publication;
+// an evaluation that pins a snapshot at action start observes a single epoch
+// end to end.
+type Snapshot interface {
+	// Epoch is the snapshot's monotonically increasing version: 0 for a
+	// freshly built store (or whatever the persisted manifest recorded),
+	// +1 per published mutation.
+	Epoch() uint64
+	// NumGraphs returns the id-space size: valid ids are [0, NumGraphs),
+	// but tombstoned slots return a nil Graph. Use LiveIDs for the universe.
 	NumGraphs() int
-	// Graph returns the data graph with the given global identifier.
+	// Graph returns the data graph with the given global identifier, or nil
+	// if the slot is tombstoned.
 	Graph(id int) *graph.Graph
+	// LiveIDs returns the ascending ids of all non-deleted graphs. The slice
+	// is owned by the snapshot and must not be mutated.
+	LiveIDs() []int
 	// Lookup classifies a fragment's canonical code against the action-aware
 	// indexes. Every shard carries the full fragment vocabulary, so the
-	// classification is layout-independent.
+	// classification is layout-independent. Entries whose support crossed
+	// the frequency threshold under mutation are masked to KindNone
+	// (negative-border repair; see the package comment in state.go).
 	Lookup(code string) (index.Kind, int)
 	// NumShards returns how many partitions the store holds (1 for Mem).
 	NumShards() int
-	// Shard returns partition i.
+	// Shard returns partition i as of this snapshot.
 	Shard(i int) Shard
 	// ShardOf returns the partition owning the given global graph id.
 	ShardOf(graphID int) int
-	// CacheTag is a short stable token identifying the layout for cache-key
-	// namespacing: entries computed against different layouts sharing one
-	// candidate cache must never collide.
+	// CacheTag is a short stable token identifying (layout, content
+	// fingerprint, epoch) for cache-key namespacing: entries computed
+	// against different layouts, different databases, or different epochs
+	// of the same store must never collide in a shared candidate cache.
 	CacheTag() string
-	// Save persists the store's index layout into dir.
+}
+
+// Store is the engine's handle on one database + index layout. Reads served
+// directly on the Store delegate to the current snapshot; evaluations that
+// must observe one consistent epoch across many calls use Pin. Mutations are
+// serialized internally and publish a new snapshot atomically.
+type Store interface {
+	Snapshot
+	// Pin returns the current snapshot. The returned view never changes;
+	// pin once per action and route every read of the action through it.
+	Pin() Snapshot
+	// InsertGraph adds a data graph to the store, assigning and returning
+	// the next free global id (the store takes ownership of g and renumbers
+	// g.ID). The owning shard's index lists are maintained incrementally and
+	// a new epoch is published. The graph must be non-empty and connected.
+	InsertGraph(g *graph.Graph) (int, error)
+	// DeleteGraph tombstones the given id: the graph leaves every index
+	// list and the live universe, the slot reads as nil, and the id is
+	// never reused.
+	DeleteGraph(id int) error
+	// Save persists the store's index layout (including the current epoch
+	// and tombstone set) into dir.
 	Save(dir string) error
 }
 
-// Shard is one partition of a Store: a subset of the data graphs plus the
-// action-aware indexes restricted to exactly those graphs.
+// Shard is one partition of a Snapshot: a subset of the live data graphs
+// plus the action-aware indexes restricted to exactly those graphs.
 type Shard interface {
 	// ID returns the shard's index in [0, NumShards).
 	ID() int
-	// NumGraphs returns how many data graphs the shard owns.
+	// NumGraphs returns how many live data graphs the shard owns.
 	NumGraphs() int
-	// GraphIDs returns the shard's global graph ids in ascending order. The
-	// slice is owned by the shard and must not be mutated.
+	// GraphIDs returns the shard's live global graph ids in ascending
+	// order. The slice is owned by the shard and must not be mutated.
 	GraphIDs() []int
 	// Index returns the shard-restricted index set.
 	Index() *index.Set
@@ -107,8 +157,9 @@ func MergeSorted(parts [][]int) []int {
 }
 
 // SplitBy partitions a sorted id list by shard ownership, preserving order:
-// result[i] holds the ids owned by shard i, still ascending.
-func SplitBy(st Store, ids []int) [][]int {
+// result[i] holds the ids owned by shard i, still ascending. It accepts any
+// Snapshot (a Store works too: a store is a view of its current epoch).
+func SplitBy(st Snapshot, ids []int) [][]int {
 	parts := make([][]int, st.NumShards())
 	for _, id := range ids {
 		si := st.ShardOf(id)

@@ -3,6 +3,7 @@ package store
 import (
 	"errors"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"prague/internal/graph"
@@ -86,8 +87,8 @@ func TestMemStore(t *testing.T) {
 	if m.NumShards() != 1 || m.NumGraphs() != len(db) {
 		t.Fatalf("NumShards=%d NumGraphs=%d", m.NumShards(), m.NumGraphs())
 	}
-	if m.CacheTag() != "m" {
-		t.Errorf("CacheTag = %q", m.CacheTag())
+	if tag := m.CacheTag(); !strings.HasPrefix(tag, "m:") || !strings.HasSuffix(tag, "@0") {
+		t.Errorf("CacheTag = %q, want m:<fingerprint>@0", tag)
 	}
 	sh := m.Shard(0)
 	if sh.ID() != 0 || sh.NumGraphs() != len(db) {
@@ -122,8 +123,8 @@ func TestShardPartition(t *testing.T) {
 	if st.NumShards() != 4 || st.NumGraphs() != len(db) {
 		t.Fatalf("NumShards=%d NumGraphs=%d", st.NumShards(), st.NumGraphs())
 	}
-	if st.CacheTag() != "s4" {
-		t.Errorf("CacheTag = %q", st.CacheTag())
+	if tag := st.CacheTag(); !strings.HasPrefix(tag, "s4:") || !strings.HasSuffix(tag, "@0") {
+		t.Errorf("CacheTag = %q, want s4:<fingerprint>@0", tag)
 	}
 	seen := map[int]int{}
 	total := 0

@@ -26,10 +26,11 @@
 //
 // To serve many concurrent users over one database, create a Service instead
 // of bare sessions: it multiplexes id-addressed sessions over a shared
-// bounded verification pool, evicts idle sessions, and records metrics. All
-// Service calls are context-first:
+// bounded verification pool, evicts idle sessions, and records metrics. The
+// primary handle is a GraphStore — build one once, then serve from it:
 //
-//	svc, _ := prague.NewService(db, ix,
+//	st, _ := prague.NewStore(db, ix)             // or NewShardedStore(db, ix, 8)
+//	svc, _ := prague.NewServiceFromStore(st,
 //		prague.WithSigma(3),
 //		prague.WithVerifyWorkers(8),
 //		prague.WithSessionTTL(15*time.Minute))
@@ -39,6 +40,13 @@
 //	b, _ := ss.AddNode("N")
 //	out, _ := ss.AddEdge(ctx, a, b)
 //	results, err := ss.Run(ctx)   // ErrAwaitingChoice until resolved
+//
+// Stores are mutable: Service.InsertGraph and Service.DeleteGraph grow and
+// shrink the database online, maintaining the per-shard index id lists
+// incrementally (no rebuild) and publishing epoch-numbered copy-on-write
+// snapshots. Every formulation action and Run pins the epoch it starts in,
+// so concurrent mutation never mixes two database states into one answer;
+// RunOutcome.Epoch reports the pinned epoch. See ExampleNewService_mutable.
 package prague
 
 import (
@@ -261,13 +269,41 @@ func SaveIndexes(ix *Indexes, dir string) error { return ix.Save(dir) }
 // LoadIndexes loads persisted indexes from dir.
 func LoadIndexes(dir string) (*Indexes, error) { return index.Load(dir) }
 
-// GraphStore is the storage abstraction sessions evaluate against: graph
-// access, action-aware index probes, candidate enumeration, and persistence.
-// Two layouts ship: the monolithic in-memory store every service uses by
-// default, and a hash-partitioned sharded store (NewShardedStore) whose
-// shards own their own A²F/A²I slices and evaluate in parallel. Results are
+// GraphStore is the primary serving handle: graph access, action-aware index
+// probes, candidate enumeration, online mutation (InsertGraph/DeleteGraph
+// with incremental index maintenance and epoch snapshots), and persistence.
+// Two layouts ship: the monolithic in-memory store (NewStore) and a
+// hash-partitioned sharded store (NewShardedStore) whose shards own their
+// own A²F/A²I slices and evaluate — and mutate — in parallel. Results are
 // byte-identical across layouts.
 type GraphStore = store.Store
+
+// StoreSnapshot is one pinned epoch of a GraphStore: an immutable view of
+// the slot table, live-id universe, and per-shard index lists. Sessions pin
+// one snapshot per action; GraphStore.Pin exposes the same mechanism.
+type StoreSnapshot = store.Snapshot
+
+// NewStore wraps a database and its indexes as a monolithic mutable
+// GraphStore — the primary handle to build a service on (NewServiceFromStore)
+// or to mutate online. The store takes ownership; do not mutate db or ix
+// directly afterwards.
+func NewStore(db *Database, ix *Indexes) (GraphStore, error) {
+	if db == nil || db.Len() == 0 {
+		return nil, fmt.Errorf("prague: store: %w", ErrEmptyDatabase)
+	}
+	return store.NewMem(db.graphs, ix)
+}
+
+// LoadStore loads a persisted monolithic layout (SaveStore of a NewStore)
+// over the database. Mutated stores round-trip: the epoch, the frozen
+// support threshold, and the tombstoned ids are restored from the manifest,
+// and db must supply every slot ever allocated (deleted slots may be nil).
+func LoadStore(db *Database, dir string) (GraphStore, error) {
+	if db == nil || db.Len() == 0 {
+		return nil, fmt.Errorf("prague: store: %w", ErrEmptyDatabase)
+	}
+	return store.LoadMem(db.graphs, dir)
+}
 
 // NewShardedStore hash-partitions the database and its indexes into n
 // shards, each owning the FSG id lists of its own graphs; the per-shard
@@ -321,8 +357,13 @@ type ManagedSession = service.Session
 // SessionInfo is a point-in-time description of a managed session's state.
 type SessionInfo = service.Info
 
-// Option configures a Service at construction; see WithSigma,
-// WithVerifyWorkers, WithSessionTTL, WithMaxSessions, WithMetrics.
+// Option configures a Service at construction. Options fall into four
+// groups, each documented under its banner below: serving (WithSigma,
+// WithVerifyWorkers, WithSessionTTL, WithMaxSessions, WithShards,
+// WithStore), caching (WithCandidateCache), robustness (WithMaxInFlight,
+// WithSessionQueue, WithActionDeadline, WithFaultInjection), and
+// observability (WithMetrics, WithTracing, WithSlowThreshold,
+// WithSlowJournalSize, WithOpsServer).
 type Option = service.Option
 
 // Metrics is a registry of counters and latency histograms; its Snapshot
@@ -340,6 +381,10 @@ type MetricsSnapshot = metrics.Snapshot
 // overrides it.
 var DefaultMetrics = metrics.Default
 
+// ---- Serving options ------------------------------------------------------
+//
+// How sessions are matched, scaled, and laid out over the store.
+
 // WithSigma sets the subgraph distance threshold σ for the service's
 // sessions (default 3, the paper's setting).
 func WithSigma(sigma int) Option { return service.WithSigma(sigma) }
@@ -355,18 +400,6 @@ func WithSessionTTL(d time.Duration) Option { return service.WithSessionTTL(d) }
 // WithMaxSessions caps concurrently live sessions (default 0: unlimited).
 func WithMaxSessions(n int) Option { return service.WithMaxSessions(n) }
 
-// WithMetrics records the service's metrics into reg instead of
-// DefaultMetrics.
-func WithMetrics(reg *Metrics) Option { return service.WithMetrics(reg) }
-
-// WithCandidateCache sets the byte budget of the service's shared
-// cross-session candidate/result cache: candidate sets and verified
-// containment sets are stored under the fragment's canonical code and reused
-// by every session, with singleflight deduplication of concurrent misses.
-// The default is 32 MiB; ≤ 0 disables caching. Hit/miss/coalesced/eviction
-// counters appear in the service's metrics snapshot as candcache_*.
-func WithCandidateCache(bytes int64) Option { return service.WithCandidateCache(bytes) }
-
 // WithShards hash-partitions the database and indexes into n shards at
 // service construction; evaluation fans out per shard and merges
 // deterministically, so results are byte-identical to the default monolithic
@@ -375,8 +408,61 @@ func WithShards(n int) Option { return service.WithShards(n) }
 
 // WithStore serves sessions from a pre-built GraphStore (e.g. a sharded
 // store restored with LoadShardedStore); the database and indexes passed to
-// NewService are then ignored.
+// NewService are then ignored, which is deprecated — call NewServiceFromStore
+// to pass only the store.
 func WithStore(st GraphStore) Option { return service.WithStore(st) }
+
+// ---- Caching options ------------------------------------------------------
+//
+// What evaluation work is shared across sessions.
+
+// WithCandidateCache sets the byte budget of the service's shared
+// cross-session candidate/result cache: candidate sets and verified
+// containment sets are stored under the fragment's canonical code — tagged
+// with the store's identity and epoch, so online mutation invalidates by
+// construction — and reused by every session, with singleflight deduplication
+// of concurrent misses. The default is 32 MiB; ≤ 0 disables caching.
+// Hit/miss/coalesced/eviction counters appear in the service's metrics
+// snapshot as candcache_*.
+func WithCandidateCache(bytes int64) Option { return service.WithCandidateCache(bytes) }
+
+// ---- Robustness options ---------------------------------------------------
+//
+// How the service behaves at and past its capacity: admission bounds, action
+// budgets, and chaos testing. Mutations (Service.InsertGraph /
+// Service.DeleteGraph) share the WithMaxInFlight bound with evaluating
+// actions, so an ingest storm cannot starve queries.
+
+// WithMaxInFlight bounds the service-wide number of concurrently evaluating
+// actions. Excess actions are shed immediately (non-blocking) with an
+// *OverloadError wrapping ErrOverloaded; reads bypass admission. n ≤ 0
+// means unlimited (the default).
+func WithMaxInFlight(n int) Option { return service.WithMaxInFlight(n) }
+
+// WithSessionQueue bounds, per session, the number of evaluating actions
+// admitted at once; the excess is shed like WithMaxInFlight. n ≤ 0 means
+// unlimited (the default).
+func WithSessionQueue(n int) Option { return service.WithSessionQueue(n) }
+
+// WithActionDeadline budgets each evaluating action. An admitted Run
+// answers within roughly the budget by degrading down the ladder (exact →
+// flagged partial → flagged similarity bounds → flagged last-known-good)
+// instead of blocking or failing; formulation actions that overrun are
+// rolled back with a typed error.
+func WithActionDeadline(d time.Duration) Option { return service.WithActionDeadline(d) }
+
+// WithFaultInjection arms deterministic fault injection (latency, typed
+// errors, panics at the verification/cache/index sites) on every action the
+// service evaluates. Chaos testing only; a nil injector is a no-op.
+func WithFaultInjection(in *faultinject.Injector) Option { return service.WithFaultInjection(in) }
+
+// ---- Observability options ------------------------------------------------
+//
+// What the service records about itself and where it exposes it.
+
+// WithMetrics records the service's metrics into reg instead of
+// DefaultMetrics.
+func WithMetrics(reg *Metrics) Option { return service.WithMetrics(reg) }
 
 // WithTracing enables per-action structured tracing: every AddEdge,
 // DeleteEdge, and Run records a span tree of its evaluation phases (SPIG
@@ -402,29 +488,6 @@ func WithSlowJournalSize(n int) Option { return service.WithSlowJournalSize(n) }
 // (JSON snapshot of the registry), /trace/slow (slow-action span trees),
 // and /debug/pprof. The server stops with Service.Close.
 func WithOpsServer(addr string) Option { return service.WithOpsServer(addr) }
-
-// WithMaxInFlight bounds the service-wide number of concurrently evaluating
-// actions. Excess actions are shed immediately (non-blocking) with an
-// *OverloadError wrapping ErrOverloaded; reads bypass admission. n ≤ 0
-// means unlimited (the default).
-func WithMaxInFlight(n int) Option { return service.WithMaxInFlight(n) }
-
-// WithSessionQueue bounds, per session, the number of evaluating actions
-// admitted at once; the excess is shed like WithMaxInFlight. n ≤ 0 means
-// unlimited (the default).
-func WithSessionQueue(n int) Option { return service.WithSessionQueue(n) }
-
-// WithActionDeadline budgets each evaluating action. An admitted Run
-// answers within roughly the budget by degrading down the ladder (exact →
-// flagged partial → flagged similarity bounds → flagged last-known-good)
-// instead of blocking or failing; formulation actions that overrun are
-// rolled back with a typed error.
-func WithActionDeadline(d time.Duration) Option { return service.WithActionDeadline(d) }
-
-// WithFaultInjection arms deterministic fault injection (latency, typed
-// errors, panics at the verification/cache/index sites) on every action the
-// service evaluates. Chaos testing only; a nil injector is a no-op.
-func WithFaultInjection(in *faultinject.Injector) Option { return service.WithFaultInjection(in) }
 
 // FaultInjector is the deterministic fault injector armed via
 // WithFaultInjection; configure per-site rules with Set.
@@ -494,9 +557,20 @@ type TracePhase = trace.PhaseStat
 // the ops server's /trace/slow returns).
 type TraceSpan = trace.SpanData
 
+// NewServiceFromStore builds a concurrent session service over a GraphStore —
+// the primary construction path: one handle carries the database, the
+// indexes, and online mutation. Close the service when done; it owns
+// background goroutines.
+func NewServiceFromStore(st GraphStore, opts ...Option) (*Service, error) {
+	return service.NewFromStore(st, opts...)
+}
+
 // NewService builds a concurrent session service over the database and
-// indexes. The database and indexes must not be mutated afterwards. Close
-// the service when done; it owns background goroutines.
+// indexes, wrapping them in a monolithic GraphStore (or a sharded one under
+// WithShards). It is the thin compatibility path; prefer NewServiceFromStore.
+// Passing WithStore alongside db and ix is deprecated — the store wins and
+// db/ix are ignored; call NewServiceFromStore instead. Close the service
+// when done; it owns background goroutines.
 func NewService(db *Database, ix *Indexes, opts ...Option) (*Service, error) {
 	if db == nil || db.Len() == 0 {
 		return nil, fmt.Errorf("prague: new service: %w", ErrEmptyDatabase)

@@ -226,3 +226,139 @@ func TestFacadeRobustnessExports(t *testing.T) {
 		t.Fatalf("fault-free run degraded: %+v", out)
 	}
 }
+
+// TestFacadeStoreExports exercises the GraphStore surface through the public
+// API: construction, persistence round-trips (including after mutation),
+// epoch-pinned snapshots, the store-first service constructor, and the
+// WithShards/WithStore compatibility paths on NewService.
+func TestFacadeStoreExports(t *testing.T) {
+	db, ix := serviceFixture(t)
+	ctx := context.Background()
+
+	if _, err := NewStore(nil, ix); !errors.Is(err, ErrEmptyDatabase) {
+		t.Errorf("NewStore(nil): %v", err)
+	}
+	if _, err := NewShardedStore(nil, ix, 2); !errors.Is(err, ErrEmptyDatabase) {
+		t.Errorf("NewShardedStore(nil): %v", err)
+	}
+	if _, err := LoadStore(nil, t.TempDir()); !errors.Is(err, ErrEmptyDatabase) {
+		t.Errorf("LoadStore(nil): %v", err)
+	}
+	if _, err := LoadShardedStore(nil, t.TempDir()); !errors.Is(err, ErrEmptyDatabase) {
+		t.Errorf("LoadShardedStore(nil): %v", err)
+	}
+
+	st, err := NewStore(db, ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutate, then persist: LoadStore must restore the epoch and cache tag.
+	g := NewGraph(0)
+	a := g.AddNode("C")
+	b := g.AddNode("N")
+	g.MustAddEdge(a, b)
+	id, err := st.InsertGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap StoreSnapshot = st.Pin()
+	if snap.Epoch() != 1 {
+		t.Errorf("pinned epoch %d after one insert", snap.Epoch())
+	}
+	dir := t.TempDir()
+	if err := SaveStore(st, dir); err != nil {
+		t.Fatal(err)
+	}
+	reDB, err := NewDatabase(append(append([]*Graph(nil), db.Graphs()...), st.Graph(id)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadStore(reDB, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.CacheTag() != st.CacheTag() {
+		t.Errorf("reloaded tag %q, want %q", loaded.CacheTag(), st.CacheTag())
+	}
+
+	sharded, err := NewShardedStore(db, ix, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdir := t.TempDir()
+	if err := SaveStore(sharded, sdir); err != nil {
+		t.Fatal(err)
+	}
+	sloaded, err := LoadShardedStore(db, sdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sloaded.CacheTag() != sharded.CacheTag() {
+		t.Errorf("reloaded sharded tag %q, want %q", sloaded.CacheTag(), sharded.CacheTag())
+	}
+
+	// Store-first service with online mutation.
+	svc, err := NewServiceFromStore(sloaded, WithSigma(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	mid, err := svc.InsertGraph(ctx, g.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc.Epoch() != 1 {
+		t.Errorf("service epoch after insert: %d", svc.Epoch())
+	}
+	if err := svc.DeleteGraph(ctx, mid); err != nil {
+		t.Fatal(err)
+	}
+
+	// Compatibility paths: WithShards builds the store, WithStore wins over
+	// the (db, ix) pair.
+	compat, err := NewService(db, ix, WithSigma(2), WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	compat.Close()
+	injected, err := NewService(db, ix, WithSigma(2), WithStore(sharded))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if injected.Store() != sharded {
+		t.Error("WithStore did not win over the (db, ix) pair")
+	}
+	injected.Close()
+}
+
+// TestFacadePatternHelpers pins the pattern-composition facade: each helper
+// returns a well-formed connected graph of the advertised shape.
+func TestFacadePatternHelpers(t *testing.T) {
+	if g := Benzene(); g.NumNodes() != 6 || g.Size() != 6 {
+		t.Errorf("Benzene: %d nodes %d edges", g.NumNodes(), g.Size())
+	}
+	if g := KekuleBenzene(); g.NumNodes() != 6 || g.Size() != 6 {
+		t.Errorf("KekuleBenzene: %d nodes %d edges", g.NumNodes(), g.Size())
+	}
+	ring, err := Ring("C", "C", "N")
+	if err != nil || ring.Size() != 3 {
+		t.Errorf("Ring: %v %v", ring, err)
+	}
+	if _, err := Ring("C"); err == nil {
+		t.Error("degenerate ring accepted")
+	}
+	br, err := BondedRing([]string{"C", "C", "O"}, []string{"-", "=", "-"})
+	if err != nil || br.Size() != 3 {
+		t.Errorf("BondedRing: %v %v", br, err)
+	}
+	if _, err := BondedRing([]string{"C", "C"}, []string{"-"}); err == nil {
+		t.Error("mismatched bond count accepted")
+	}
+	star, err := Star("C", "N", "O", "S")
+	if err != nil || star.NumNodes() != 4 || star.Size() != 3 {
+		t.Errorf("Star: %v %v", star, err)
+	}
+	if db, err := GenerateBondedMolecules(20, 1); err != nil || db.Len() != 20 {
+		t.Errorf("GenerateBondedMolecules: %v %v", db, err)
+	}
+}
