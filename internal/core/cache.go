@@ -44,7 +44,12 @@ func (e *Engine) exactKey(code string) string {
 func (e *Engine) exactContainment(ctx context.Context, code string, frag *graph.Graph, cands []int) ([]int, error) {
 	verify := func(ctx context.Context) ([]int, error) {
 		before := e.runFaults.Load()
-		out, err := e.filter(ctx, cands, e.verifyPred(ctx, func(id int) bool {
+		// The adaptive prefilter (chooser.go) shrinks the candidate list with
+		// a sound superset filter before isomorphism checks. The verified
+		// result is independent of the arm chosen, so cached entries stay
+		// identical across sessions with different chooser modes.
+		pruned := e.prefilter(ctx, frag, cands)
+		out, err := e.filter(ctx, pruned, e.verifyPred(ctx, func(id int) bool {
 			return graph.SubgraphIsomorphic(frag, e.snap.Graph(id))
 		}))
 		if err == nil {

@@ -83,8 +83,11 @@ func (e *Engine) computeCandidates(ctx context.Context, v *spig.Vertex) []int {
 		}()
 	}
 	n := e.snap.NumShards()
+	if len(e.probeScratch) < n {
+		e.probeScratch = make([]shardScratch, n)
+	}
 	if n == 1 {
-		return shardCandidates(e.snap.Shard(0), v)
+		return shardCandidates(e.snap.Shard(0), v, &e.probeScratch[0])
 	}
 	t0 := time.Now()
 	parts := make([][]int, n)
@@ -93,7 +96,7 @@ func (e *Engine) computeCandidates(ctx context.Context, v *spig.Vertex) []int {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			parts[i] = shardCandidates(e.snap.Shard(i), v)
+			parts[i] = shardCandidates(e.snap.Shard(i), v, &e.probeScratch[i])
 		}(i)
 	}
 	wg.Wait()
@@ -106,7 +109,9 @@ func (e *Engine) computeCandidates(ctx context.Context, v *spig.Vertex) []int {
 // shardCandidates is Algorithm 3's index probe against one shard: the
 // shard-restricted FSG list for indexed vertices, the Υ-then-Φ intersection
 // for NIFs, and the shard's whole id set when no index information exists.
-func shardCandidates(sh store.Shard, v *spig.Vertex) []int {
+// The NIF intersection runs word-at-a-time over compressed bitsets in the
+// shard's reusable scratch; only the final memoized list is allocated.
+func shardCandidates(sh store.Shard, v *spig.Vertex, sc *shardScratch) []int {
 	idx := sh.Index()
 	switch v.Kind {
 	case index.KindFrequent:
@@ -122,28 +127,29 @@ func shardCandidates(sh store.Shard, v *spig.Vertex) []int {
 		// sound candidate set is the whole shard.
 		return sh.GraphIDs()
 	}
-	var rq []int
-	first := true
-	and := func(ids []int) {
-		if first {
-			rq = intset.Clone(ids)
-			first = false
-		} else {
-			rq = intset.Intersect(rq, ids)
-		}
-	}
 	// DIFs have the strongest pruning power; intersect them first so the
 	// running set shrinks early.
+	first := true
+	and := func(ids []int) bool {
+		if first {
+			sc.a.SetSorted(ids)
+			first = false
+		} else {
+			sc.a.AndSorted(ids, &sc.b)
+		}
+		return !sc.a.Empty()
+	}
 	for _, id := range v.Ups {
-		and(idx.A2I.FSGIds(id))
+		if !and(idx.A2I.FSGIds(id)) {
+			return nil
+		}
 	}
 	for _, id := range v.Phi {
-		if len(rq) == 0 && !first {
-			break
+		if !and(idx.A2F.FSGIds(id)) {
+			return nil
 		}
-		and(idx.A2F.FSGIds(id))
 	}
-	return rq
+	return sc.a.AppendTo(make([]int, 0, sc.a.Len()))
 }
 
 // allIds returns the identifier universe of the pinned epoch: the live graph

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"prague/internal/graph"
+	"prague/internal/index"
+	"prague/internal/mining"
+)
+
+// chooserFuzzFix lazily builds one shared database + index fixture for the
+// chooser fuzz target: mining is far too slow to repeat per fuzz execution,
+// and the chooser's behavior space is covered by varying the query, not the
+// database.
+var chooserFuzzFix struct {
+	once sync.Once
+	fx   *fixture
+	err  error
+}
+
+func chooserFixture(t *testing.T) *fixture {
+	chooserFuzzFix.once.Do(func() {
+		r := rand.New(rand.NewSource(97))
+		labels := []string{"C", "C", "C", "C", "N", "O", "S"}
+		var db []*graph.Graph
+		for i := 0; i < 30; i++ {
+			nodes := 4 + r.Intn(6)
+			g := graph.New(i)
+			for v := 0; v < nodes; v++ {
+				g.AddNode(labels[r.Intn(len(labels))])
+			}
+			for v := 1; v < nodes; v++ {
+				g.MustAddEdge(v, r.Intn(v))
+			}
+			for k := 0; k < r.Intn(3); k++ {
+				u, v := r.Intn(nodes), r.Intn(nodes)
+				if u != v && !g.HasEdge(u, v) {
+					g.MustAddEdge(u, v)
+				}
+			}
+			db = append(db, g)
+		}
+		res, err := mining.Mine(db, mining.Options{MinSupportRatio: 0.25, MaxSize: 8, IncludeZeroSupportPairs: true})
+		if err != nil {
+			chooserFuzzFix.err = err
+			return
+		}
+		idx, err := index.Build(res, 0.25, 3)
+		if err != nil {
+			chooserFuzzFix.err = err
+			return
+		}
+		chooserFuzzFix.fx = &fixture{db: db, idx: idx}
+	})
+	if chooserFuzzFix.err != nil {
+		t.Fatal(chooserFuzzFix.err)
+	}
+	return chooserFuzzFix.fx
+}
+
+// FuzzFilterChooser pins the chooser's core soundness claim: every arm —
+// forced probe, forced Grafil counting, forced signature pruning, and the
+// auto cost model — produces the same final answer set, and that set matches
+// the brute-force oracle. A prefilter that ever dropped a true candidate
+// would surface here as an arm disagreeing with the probe (which filters
+// nothing).
+func FuzzFilterChooser(f *testing.F) {
+	for s := int64(0); s < 6; s++ {
+		f.Add(s, uint8(s))
+	}
+	f.Fuzz(func(t *testing.T, seed int64, shape uint8) {
+		fx := chooserFixture(t)
+		r := rand.New(rand.NewSource(seed))
+		labels := []string{"C", "C", "N", "O", "S", "Hg"}
+		bonds := []string{"", "", "1", "2"}
+
+		// Plan a connected query as a replayable script so every mode's
+		// engine formulates the identical fragment.
+		nn := 2 + int(shape)%4 + r.Intn(2)
+		nodeLabels := make([]string, nn)
+		for i := range nodeLabels {
+			nodeLabels[i] = labels[r.Intn(len(labels))]
+		}
+		type edgePlan struct {
+			u, v int
+			bond string
+		}
+		var edges []edgePlan
+		for v := 1; v < nn; v++ {
+			edges = append(edges, edgePlan{v, r.Intn(v), bonds[r.Intn(len(bonds))]})
+		}
+		for k := 0; k < r.Intn(3); k++ {
+			u, v := r.Intn(nn), r.Intn(nn)
+			if u != v {
+				edges = append(edges, edgePlan{u, v, bonds[r.Intn(len(bonds))]})
+			}
+		}
+
+		runMode := func(m FilterMode) (map[int]int, bool, *graph.Graph) {
+			e, err := New(fx.db, fx.idx, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e.SetFilterChooser(m)
+			nodes := make([]int, nn)
+			for i, l := range nodeLabels {
+				nodes[i] = e.AddNode(l)
+			}
+			for _, ep := range edges {
+				out, err := e.AddLabeledEdge(nodes[ep.u], nodes[ep.v], ep.bond)
+				if err != nil {
+					continue // duplicate/self-loop: skipped identically by every mode
+				}
+				if out.NeedsChoice {
+					e.ChooseSimilarity()
+				}
+			}
+			if e.AwaitingChoice() {
+				e.ChooseSimilarity()
+			}
+			results, err := e.Run()
+			if err != nil {
+				t.Fatalf("mode %v: run: %v", m, err)
+			}
+			_ = e.FilterExplain() // must never panic, decided or not
+			got := map[int]int{}
+			for _, res := range results {
+				got[res.GraphID] = res.Distance
+			}
+			qg, _ := e.Query().Graph()
+			return got, e.SimilarityMode(), qg
+		}
+
+		probe, simMode, qg := runMode(FilterProbe)
+		for _, m := range []FilterMode{FilterGrafil, FilterSignature, FilterAuto} {
+			got, sim, _ := runMode(m)
+			if sim != simMode {
+				t.Fatalf("mode %v: similarity mode %v, probe arm %v", m, sim, simMode)
+			}
+			if !reflect.DeepEqual(got, probe) {
+				t.Fatalf("mode %v answers %v, probe arm answers %v", m, got, probe)
+			}
+		}
+
+		// The shared answer must also be the oracle's.
+		if simMode {
+			for _, g := range fx.db {
+				d := graph.SubgraphDistance(qg, g)
+				if d <= 2 {
+					if gd, ok := probe[g.ID]; !ok || gd != d {
+						t.Fatalf("graph %d dist %d, engine says %v (ok=%v)", g.ID, d, gd, ok)
+					}
+				} else if _, ok := probe[g.ID]; ok {
+					t.Fatalf("graph %d beyond σ included", g.ID)
+				}
+			}
+			return
+		}
+		exact := map[int]bool{}
+		for _, g := range fx.db {
+			if graph.SubgraphIsomorphic(qg, g) {
+				exact[g.ID] = true
+			}
+		}
+		if len(exact) > 0 {
+			if len(probe) != len(exact) {
+				t.Fatalf("%d exact results, oracle %d", len(probe), len(exact))
+			}
+			for id := range probe {
+				if !exact[id] {
+					t.Fatalf("false positive %d", id)
+				}
+			}
+			return
+		}
+		// Exact mode with no exact matches: Run falls back to similarity.
+		for _, g := range fx.db {
+			d := graph.SubgraphDistance(qg, g)
+			if d <= 2 && probe[g.ID] != d {
+				t.Fatalf("fallback missed graph %d at dist %d", g.ID, d)
+			}
+		}
+	})
+}

@@ -115,6 +115,23 @@ type Engine struct {
 	// an older query revision (or are empty). Run must recompute before
 	// answering — serving stale sets would be silently incomplete.
 	stale bool
+
+	// probeScratch holds per-shard bitset scratch for Algorithm 3's NIF
+	// list intersection. Indexed by shard id — computeCandidates runs at
+	// most one goroutine per shard, so rows never race. Lazily sized.
+	probeScratch []shardScratch
+
+	// chooser state (chooser.go): the adaptive verify-prefilter.
+	chooserMode  FilterMode
+	chooserTab   *sigTable      // per-epoch per-graph signatures, lazily built
+	chooserEpoch uint64         // epoch chooserTab was built against
+	lastChoice   FilterDecision // most recent chooser decision, for Explain
+	filterObs    func(FilterDecision)
+}
+
+// shardScratch is one shard's reusable intersection scratch.
+type shardScratch struct {
+	a, b intset.Bits
 }
 
 // levelSets maps SPIG level -> sorted candidate id set.

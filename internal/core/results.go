@@ -58,8 +58,11 @@ func (e *Engine) similarResultsGen(ctx context.Context, qg *graph.Graph) ([]Resu
 			confirmed, err = e.verifyLevelCached(ctx, i, pending)
 		} else {
 			frags := e.levelFragments(i)
+			// Level gate (chooser.go): a pending graph only reaches VF2 for
+			// fragments whose features (counts or signature) it can contain.
+			gate := e.levelPrefilter(ctx, frags, pending)
 			confirmed, err = e.filter(ctx, pending, e.verifyPred(ctx, func(id int) bool {
-				return containsAnyFragment(frags, e.snap.Graph(id))
+				return e.containsAnyFragmentGated(frags, gate, id)
 			}))
 		}
 		for _, id := range confirmed {
@@ -129,6 +132,23 @@ func (e *Engine) levelFragments(i int) []*graph.Graph {
 		frags = append(frags, v.Frag)
 	}
 	return frags
+}
+
+// containsAnyFragmentGated is containsAnyFragment with the per-fragment
+// level gate from levelPrefilter: when gate is non-nil, fragment j is only
+// VF2-checked against graphs whose features can contain it. The gate is
+// read-only once built, so concurrent verify workers share it.
+func (e *Engine) containsAnyFragmentGated(frags []*graph.Graph, gate *levelGate, id int) bool {
+	g := e.snap.Graph(id)
+	if gate == nil {
+		return containsAnyFragment(frags, g)
+	}
+	for j, f := range frags {
+		if gate.pass(j, id) && graph.SubgraphIsomorphic(f, g) {
+			return true
+		}
+	}
+	return false
 }
 
 func containsAnyFragment(frags []*graph.Graph, g *graph.Graph) bool {

@@ -96,7 +96,7 @@ func Names() []string {
 	return []string{
 		"table2", "fig9a", "fig9be", "fig9fi", "fig9j",
 		"table3", "table4", "fig10a", "fig10be", "table5",
-		"latency", "candcache", "trace", "chaos", "shard", "mutate",
+		"latency", "candcache", "trace", "chaos", "shard", "mutate", "filter",
 		"ablation-sequence", "ablation-freever", "ablation-dif", "ablation-beta",
 	}
 }
@@ -136,6 +136,8 @@ func (s *Suite) Run(name string) error {
 		return s.Chaos()
 	case "mutate":
 		return s.Mutate()
+	case "filter":
+		return s.Filter()
 	case "ablation-sequence":
 		return s.AblationSequence()
 	case "ablation-freever":

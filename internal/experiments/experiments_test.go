@@ -50,7 +50,7 @@ func TestNamesStable(t *testing.T) {
 	// RunAll (exercised by TestSuiteSmoke) iterates Names(), so every name
 	// is known to dispatch; here we only pin the published list.
 	names := Names()
-	if len(names) != 20 {
+	if len(names) != 21 {
 		t.Errorf("experiment list changed: %v", names)
 	}
 	seen := map[string]bool{}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"prague/internal/core"
+	"prague/internal/workload"
+)
+
+// Filter demonstrates the adaptive verify-prefilter (the filter chooser):
+// worst-case similarity queries are evaluated once per forced arm (probe =
+// no prefilter, Grafil-style count filtering, signature pruning) and once in
+// auto mode, where the cost model picks an arm per action. The workload is
+// the chooser's target regime — spread heteroatom combs whose sub-patterns
+// escape the A²I index, so the probe degrades to near-whole-database
+// candidate sets and per-candidate filtering decides the SRT. Answers are
+// asserted byte-identical across arms: every arm is a sound superset filter.
+func (s *Suite) Filter() error {
+	if err := s.ensureAIDS(); err != nil {
+		return err
+	}
+	s.header("Adaptive filter chooser: worst-case similarity Run SRT per arm (AIDS-like)")
+	s.printf("%-9s %10s %11s %10s %9s %8s  %s\n",
+		"query", "probe(ms)", "grafil(ms)", "sig(ms)", "auto(ms)", "results", "auto decision")
+
+	modes := []core.FilterMode{core.FilterProbe, core.FilterGrafil, core.FilterSignature, core.FilterAuto}
+	for _, wq := range filterCombQueries() {
+		var base []core.Result
+		var srt [4]time.Duration
+		var explain string
+		var nres int
+		for mi, m := range modes {
+			results, d, why, err := filterRunOnce(s, wq, m)
+			if err != nil {
+				return err
+			}
+			srt[mi] = d
+			if base == nil {
+				base = results
+			} else if err := sameResults(base, results); err != nil {
+				return fmt.Errorf("experiments: filter arm %v diverged from probe: %w", m, err)
+			}
+			if m == core.FilterAuto {
+				nres, explain = len(results), why
+			}
+		}
+		s.printf("%-9s %10.3f %11.3f %10.3f %9.3f %8d  %s\n",
+			wq.Name, ms(srt[0]), ms(srt[1]), ms(srt[2]), ms(srt[3]), nres, explain)
+	}
+	s.printf("(probe = no prefilter; answers are byte-identical across arms by the superset property)\n")
+	return nil
+}
+
+// filterCombQueries builds the worst-case similarity workload: a carbon path
+// with one heteroatom leaf per position. Sub-combs with several heteroatoms
+// have zero support in the generated molecule databases, so mining never
+// indexes them and the SPIG levels classify NIF with weak Φ-only pruning.
+func filterCombQueries() []workload.Query {
+	comb := func(name, leaf string, n int) workload.Query {
+		q := workload.Query{Name: name, Class: "worst"}
+		for i := 0; i < n; i++ {
+			q.NodeLabels = append(q.NodeLabels, "C")
+		}
+		for i := 0; i < n; i++ {
+			q.NodeLabels = append(q.NodeLabels, leaf)
+		}
+		for i := 1; i < n; i++ {
+			q.Edges = append(q.Edges, [2]int{i - 1, i})
+		}
+		for i := 0; i < n; i++ {
+			q.Edges = append(q.Edges, [2]int{i, n + i})
+		}
+		return q
+	}
+	return []workload.Query{
+		comb("comb-n7", "N", 7),
+		comb("comb-n6", "N", 6),
+		comb("comb-o6", "O", 6),
+	}
+}
+
+// filterRunOnce formulates wq on a fresh engine pinned to the given chooser
+// mode, times Run only (the SRT), and reports the engine's last chooser
+// decision as a one-line explanation.
+func filterRunOnce(s *Suite, wq workload.Query, m core.FilterMode) ([]core.Result, time.Duration, string, error) {
+	e, err := core.New(s.aidsDB, s.aidsIdx, s.cfg.Sigma)
+	if err != nil {
+		return nil, 0, "", err
+	}
+	e.SetFilterChooser(m)
+	ids := make([]int, len(wq.NodeLabels))
+	for i, l := range wq.NodeLabels {
+		ids[i] = e.AddNode(l)
+	}
+	for _, ed := range wq.Edges {
+		out, err := e.AddEdge(ids[ed[0]], ids[ed[1]])
+		if err != nil {
+			return nil, 0, "", err
+		}
+		if out.NeedsChoice {
+			e.ChooseSimilarity()
+		}
+	}
+	if e.AwaitingChoice() {
+		e.ChooseSimilarity()
+	}
+	t0 := time.Now()
+	results, err := e.Run()
+	return results, time.Since(t0), e.FilterExplain(), err
+}

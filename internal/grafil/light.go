@@ -1,0 +1,189 @@
+package grafil
+
+import (
+	"math"
+
+	"prague/internal/graph"
+)
+
+// LightIndex applies Grafil's feature-count principle (count_g(f) ≥
+// count_q(f) for subgraph containment, the σ=0 case of the paper's bound)
+// with the cheapest one-pass features — node labels and labeled edge triples
+// — so an engine can use count filtering as an in-action verify-prefilter arm
+// without any mining. Counts live in one flat slab indexed by graph id, and
+// the per-candidate Pass check is allocation-free.
+type LightIndex struct {
+	labelCol  map[string]int // node label -> column
+	tripleCol map[string]int // "la\x00le\x00lb" (la<=lb) -> column
+	ncols     int
+	counts    []uint16 // (maxID+1) * ncols slab; row = graph id
+	rows      int
+
+	labelDoc []int // per label column: number of graphs containing it
+	total    int   // graphs indexed
+}
+
+// LightNeed is one query feature requirement: column col needs count >= need.
+type LightNeed struct {
+	Col  int
+	Need uint16
+}
+
+// LightProfile is a query fragment's precomputed requirements; build once per
+// action with Profile, check candidates with Pass.
+type LightProfile struct {
+	Needs []LightNeed
+	// Unknown marks a fragment using a label or edge triple absent from the
+	// indexed vocabulary: no indexed graph can contain it, so every
+	// candidate fails.
+	Unknown bool
+}
+
+func tripleKey(la, le, lb string) string {
+	if lb < la {
+		la, lb = lb, la
+	}
+	return la + "\x00" + le + "\x00" + lb
+}
+
+// BuildLight scans the graphs with the given ids (nil graphs are skipped,
+// matching tombstoned store slots) and builds the count slab.
+func BuildLight(ids []int, lookup func(int) *graph.Graph) *LightIndex {
+	ix := &LightIndex{labelCol: map[string]int{}, tripleCol: map[string]int{}}
+	maxID := -1
+	// Pass 1: vocabulary.
+	for _, id := range ids {
+		g := lookup(id)
+		if g == nil {
+			continue
+		}
+		if id > maxID {
+			maxID = id
+		}
+		for _, l := range g.Labels() {
+			if _, ok := ix.labelCol[l]; !ok {
+				ix.labelCol[l] = ix.ncols
+				ix.ncols++
+			}
+		}
+		for _, e := range g.Edges() {
+			k := tripleKey(g.Label(e.U), g.EdgeLabel(e.U, e.V), g.Label(e.V))
+			if _, ok := ix.tripleCol[k]; !ok {
+				ix.tripleCol[k] = ix.ncols
+				ix.ncols++
+			}
+		}
+	}
+	ix.rows = maxID + 1
+	ix.counts = make([]uint16, ix.rows*ix.ncols)
+	ix.labelDoc = make([]int, ix.ncols)
+	// Pass 2: counts.
+	for _, id := range ids {
+		g := lookup(id)
+		if g == nil {
+			continue
+		}
+		ix.total++
+		row := ix.counts[id*ix.ncols : (id+1)*ix.ncols]
+		for _, l := range g.Labels() {
+			addCapped(row, ix.labelCol[l])
+		}
+		for _, e := range g.Edges() {
+			addCapped(row, ix.tripleCol[tripleKey(g.Label(e.U), g.EdgeLabel(e.U, e.V), g.Label(e.V))])
+		}
+		for _, c := range ix.labelCol {
+			if row[c] > 0 {
+				ix.labelDoc[c]++
+			}
+		}
+	}
+	return ix
+}
+
+func addCapped(row []uint16, col int) {
+	if row[col] < math.MaxUint16 {
+		row[col]++
+	}
+}
+
+// Profile computes the fragment's feature requirements against the index
+// vocabulary.
+func (ix *LightIndex) Profile(frag *graph.Graph) LightProfile {
+	var p LightProfile
+	need := map[int]uint16{}
+	bump := func(col int, ok bool) {
+		if !ok {
+			p.Unknown = true
+			return
+		}
+		if need[col] < math.MaxUint16 {
+			need[col]++
+		}
+	}
+	for _, l := range frag.Labels() {
+		col, ok := ix.labelCol[l]
+		bump(col, ok)
+	}
+	for _, e := range frag.Edges() {
+		col, ok := ix.tripleCol[tripleKey(frag.Label(e.U), frag.EdgeLabel(e.U, e.V), frag.Label(e.V))]
+		bump(col, ok)
+	}
+	if p.Unknown {
+		return p
+	}
+	p.Needs = make([]LightNeed, 0, len(need))
+	for col, n := range need {
+		p.Needs = append(p.Needs, LightNeed{Col: col, Need: n})
+	}
+	return p
+}
+
+// Pass reports whether graph gid satisfies every count requirement of p.
+// It is allocation-free and safe for concurrent use.
+func (ix *LightIndex) Pass(p *LightProfile, gid int) bool {
+	if p.Unknown {
+		return false
+	}
+	if gid < 0 || gid >= ix.rows {
+		return false
+	}
+	row := ix.counts[gid*ix.ncols : (gid+1)*ix.ncols]
+	for _, nd := range p.Needs {
+		if row[nd.Col] < nd.Need {
+			return false
+		}
+	}
+	return true
+}
+
+// MinLabelSelectivity estimates how selective the fragment's rarest node
+// label is: the fraction of indexed graphs containing it (1 for an empty or
+// out-of-vocabulary-free fragment, 0 when a label is absent entirely).
+func (ix *LightIndex) MinLabelSelectivity(frag *graph.Graph) float64 {
+	if ix.total == 0 {
+		return 1
+	}
+	sel := 1.0
+	for _, l := range frag.Labels() {
+		col, ok := ix.labelCol[l]
+		if !ok {
+			return 0
+		}
+		if s := float64(ix.labelDoc[col]) / float64(ix.total); s < sel {
+			sel = s
+		}
+	}
+	return sel
+}
+
+// RepeatedFeatures reports whether the fragment requires any feature more
+// than once — the regime where count filtering prunes strictly more than a
+// presence mask.
+func (p *LightProfile) RepeatedFeatures() bool {
+	for _, nd := range p.Needs {
+		if nd.Need > 1 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,87 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"prague/internal/raceflag"
+)
+
+// allocFixture builds a query fragment and a data graph of AIDS-like shape
+// for steady-state allocation measurement.
+func allocFixture() (q, g *Graph) {
+	q = New(0)
+	q.AddNode("C")
+	q.AddNode("C")
+	q.AddNode("O")
+	q.MustAddEdge(0, 1)
+	q.MustAddEdge(1, 2)
+
+	r := rand.New(rand.NewSource(7))
+	labels := []string{"C", "C", "C", "N", "O", "S"}
+	g = New(1)
+	for v := 0; v < 24; v++ {
+		g.AddNode(labels[r.Intn(len(labels))])
+	}
+	for v := 1; v < 24; v++ {
+		g.MustAddEdge(v, r.Intn(v))
+	}
+	for k := 0; k < 8; k++ {
+		u, v := r.Intn(24), r.Intn(24)
+		if u != v && !g.HasEdge(u, v) {
+			g.MustAddEdge(u, v)
+		}
+	}
+	return q, g
+}
+
+// The VF2 verify path runs once per candidate graph per action — it is the
+// hot path the pool exists for. Budgets are pinned at zero: any allocation
+// here is a regression multiplied by every candidate of every query.
+func TestVF2AllocBudget(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation budgets are not meaningful under -race")
+	}
+	q, g := allocFixture()
+	// Warm the pool on this goroutine.
+	for i := 0; i < 10; i++ {
+		SubgraphIsomorphic(q, g)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		SubgraphIsomorphic(q, g)
+	}); n != 0 {
+		t.Errorf("SubgraphIsomorphic allocates %.1f/op in steady state, budget 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		CountEmbeddings(q, g, 0)
+	}); n != 0 {
+		t.Errorf("CountEmbeddings allocates %.1f/op in steady state, budget 0", n)
+	}
+	fn := func([]int) bool { return false }
+	if n := testing.AllocsPerRun(200, func() {
+		ForEachEmbedding(q, g, fn)
+	}); n != 0 {
+		t.Errorf("ForEachEmbedding allocates %.1f/op in steady state, budget 0", n)
+	}
+}
+
+// MinDFSCode recycles its embedding arenas through a pool; in steady state
+// the only mandatory allocation is the caller-owned copy of the resulting
+// code. The budget leaves headroom for map-internal growth but is far below
+// the per-embedding cloning the arena replaced (hundreds of allocations for
+// a fragment this size).
+func TestMinDFSCodeAllocBudget(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation budgets are not meaningful under -race")
+	}
+	_, g := allocFixture()
+	for i := 0; i < 10; i++ {
+		MinDFSCode(g)
+	}
+	const budget = 8
+	if n := testing.AllocsPerRun(100, func() {
+		MinDFSCode(g)
+	}); n > budget {
+		t.Errorf("MinDFSCode allocates %.1f/op in steady state, budget %d", n, budget)
+	}
+}

@@ -3,6 +3,7 @@ package graph
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // The paper identifies fragments by their CAM code (Huan & Wang's canonical
@@ -59,20 +60,83 @@ func LessExt(a, b CodeEdge) bool {
 	}
 }
 
-// dfsEmbedding maps code vertices to graph nodes during minimum-code search.
-type dfsEmbedding struct {
-	assign []int  // code vertex index -> graph node
-	inv    []int  // graph node -> code vertex index, -1 if unmapped
-	used   []bool // per edge index of g: already consumed by the code
+// embSet stores one generation of DFS-search embeddings as fixed-stride rows
+// over flat arrays: row i's code-vertex assignment lives at
+// assign[i*stride : (i+1)*stride], its node->code-vertex inverse at
+// inv[i*n : (i+1)*n], and its consumed-edge marks at used[i*m : (i+1)*m].
+// Within one generation every embedding maps the same code prefix, so all
+// rows share one stride. The flat layout lets the minimum-code search copy
+// and extend embeddings without any per-embedding allocation.
+type embSet struct {
+	assign []int
+	inv    []int
+	used   []bool
+	stride int // assign row width (code vertices mapped so far)
+	n, m   int // graph node / edge counts (inv / used row widths)
+	count  int
 }
 
-func (e *dfsEmbedding) clone() *dfsEmbedding {
-	return &dfsEmbedding{
-		assign: append([]int(nil), e.assign...),
-		inv:    append([]int(nil), e.inv...),
-		used:   append([]bool(nil), e.used...),
-	}
+func (es *embSet) reset(stride, n, m int) {
+	es.stride, es.n, es.m, es.count = stride, n, m, 0
+	es.assign = es.assign[:0]
+	es.inv = es.inv[:0]
+	es.used = es.used[:0]
 }
+
+func (es *embSet) assignRow(i int) []int { return es.assign[i*es.stride : (i+1)*es.stride] }
+func (es *embSet) invRow(i int) []int    { return es.inv[i*es.n : (i+1)*es.n] }
+func (es *embSet) usedRow(i int) []bool  { return es.used[i*es.m : (i+1)*es.m] }
+
+func extendInts(b []int, k int) []int {
+	if cap(b)-len(b) < k {
+		nb := make([]int, len(b), max(2*cap(b), len(b)+k))
+		copy(nb, b)
+		b = nb
+	}
+	return b[:len(b)+k]
+}
+
+func extendBools(b []bool, k int) []bool {
+	if cap(b)-len(b) < k {
+		nb := make([]bool, len(b), max(2*cap(b), len(b)+k))
+		copy(nb, b)
+		b = nb
+	}
+	return b[:len(b)+k]
+}
+
+// addRow appends one zeroed row and returns its index. The caller fills it.
+func (es *embSet) addRow() int {
+	i := es.count
+	es.count++
+	es.assign = extendInts(es.assign, es.stride)
+	es.inv = extendInts(es.inv, es.n)
+	es.used = extendBools(es.used, es.m)
+	return i
+}
+
+// appendFrom copies row i of src into a fresh row of es. es.stride may
+// exceed src.stride by one (forward extension); the extra assign slot is
+// left for the caller.
+func (es *embSet) appendFrom(src *embSet, i int) int {
+	j := es.addRow()
+	copy(es.assignRow(j), src.assignRow(i))
+	copy(es.invRow(j), src.invRow(i))
+	copy(es.usedRow(j), src.usedRow(i))
+	return j
+}
+
+// minDFSScratch pools every transient of the minimum-code search; acquire
+// via minDFSPool. Scratch is re-sliced and cleared on reuse, so a state left
+// dirty by a panic unwind is harmless.
+type minDFSScratch struct {
+	edgeIdx   map[Edge]int
+	cur, next embSet
+	code      []CodeEdge
+	rmpath    []int
+}
+
+var minDFSPool = sync.Pool{New: func() any { return new(minDFSScratch) }}
 
 // MinDFSCode computes the minimum DFS code of g. g must be connected; for a
 // single-node graph the code is a single pseudo-tuple carrying the label.
@@ -87,7 +151,14 @@ func MinDFSCode(g *Graph) []CodeEdge {
 		panic("graph: MinDFSCode on disconnected graph")
 	}
 
-	edgeIdx := make(map[Edge]int, len(g.edges))
+	sc := minDFSPool.Get().(*minDFSScratch)
+	defer minDFSPool.Put(sc)
+	if sc.edgeIdx == nil {
+		sc.edgeIdx = make(map[Edge]int, len(g.edges))
+	} else {
+		clear(sc.edgeIdx)
+	}
+	edgeIdx := sc.edgeIdx
 	for i, e := range g.edges {
 		edgeIdx[e] = i
 	}
@@ -105,28 +176,27 @@ func MinDFSCode(g *Graph) []CodeEdge {
 			}
 		}
 	}
-	var embs []*dfsEmbedding
+	cur, next := &sc.cur, &sc.next
+	cur.reset(2, g.NumNodes(), len(g.edges))
 	for i, e := range g.edges {
 		for _, o := range [2][2]int{{e.U, e.V}, {e.V, e.U}} {
 			if g.labels[o[0]] != first.LI || g.labels[o[1]] != first.LJ || g.edgeLabels[i] != first.LE {
 				continue
 			}
-			emb := &dfsEmbedding{
-				assign: []int{o[0], o[1]},
-				inv:    make([]int, g.NumNodes()),
-				used:   make([]bool, len(g.edges)),
+			row := cur.addRow()
+			as, inv, used := cur.assignRow(row), cur.invRow(row), cur.usedRow(row)
+			as[0], as[1] = o[0], o[1]
+			for k := range inv {
+				inv[k] = -1
 			}
-			for k := range emb.inv {
-				emb.inv[k] = -1
-			}
-			emb.inv[o[0]], emb.inv[o[1]] = 0, 1
-			emb.used[edgeIdx[normEdge(o[0], o[1])]] = true
-			embs = append(embs, emb)
+			clear(used)
+			inv[o[0]], inv[o[1]] = 0, 1
+			used[edgeIdx[normEdge(o[0], o[1])]] = true
 		}
 	}
 
-	code := []CodeEdge{first}
-	rmpath := []int{0, 1} // code vertex indices along the rightmost path
+	code := append(sc.code[:0], first)
+	rmpath := append(sc.rmpath[:0], 0, 1) // code vertex indices along the rightmost path
 
 	for len(code) < len(g.edges) {
 		// Gather the minimal extension over all live embeddings.
@@ -138,22 +208,23 @@ func MinDFSCode(g *Graph) []CodeEdge {
 			}
 		}
 		r := rmpath[len(rmpath)-1]
-		for _, emb := range embs {
+		for e := 0; e < cur.count; e++ {
+			assign, inv, used := cur.assignRow(e), cur.invRow(e), cur.usedRow(e)
 			// Backward extensions: rightmost vertex -> earlier rmpath vertex.
-			gv := emb.assign[r]
+			gv := assign[r]
 			for _, pathV := range rmpath[:len(rmpath)-1] {
-				gw := emb.assign[pathV]
-				if g.HasEdge(gv, gw) && !emb.used[edgeIdx[normEdge(gv, gw)]] {
+				gw := assign[pathV]
+				if g.HasEdge(gv, gw) && !used[edgeIdx[normEdge(gv, gw)]] {
 					consider(CodeEdge{I: r, J: pathV, LI: g.labels[gv], LE: labelOf(gv, gw), LJ: g.labels[gw]})
 				}
 			}
 			// Forward extensions: from any rightmost-path vertex to an
 			// unmapped neighbor.
 			for _, pathV := range rmpath {
-				gu := emb.assign[pathV]
+				gu := assign[pathV]
 				for _, gw := range g.adj[gu] {
-					if emb.inv[gw] == -1 {
-						consider(CodeEdge{I: pathV, J: len(emb.assign), LI: g.labels[gu], LE: labelOf(gu, gw), LJ: g.labels[gw]})
+					if inv[gw] == -1 {
+						consider(CodeEdge{I: pathV, J: len(assign), LI: g.labels[gu], LE: labelOf(gu, gw), LJ: g.labels[gw]})
 					}
 				}
 			}
@@ -162,18 +233,24 @@ func MinDFSCode(g *Graph) []CodeEdge {
 			panic("graph: MinDFSCode ran out of extensions on a connected graph")
 		}
 
-		// Keep only embeddings realizing the best extension, extended.
-		var next []*dfsEmbedding
-		for _, emb := range embs {
+		// Keep only embeddings realizing the best extension, extended into
+		// the swap buffer (forward extensions widen the assign stride by 1).
+		if best.forward() {
+			next.reset(cur.stride+1, cur.n, cur.m)
+		} else {
+			next.reset(cur.stride, cur.n, cur.m)
+		}
+		for e := 0; e < cur.count; e++ {
 			if best.forward() {
-				gu := emb.assign[best.I]
+				gu := cur.assignRow(e)[best.I]
+				inv := cur.invRow(e)
 				for _, gw := range g.adj[gu] {
-					if emb.inv[gw] == -1 && g.labels[gw] == best.LJ && labelOf(gu, gw) == best.LE {
-						ne := emb.clone()
-						ne.assign = append(ne.assign, gw)
-						ne.inv[gw] = len(ne.assign) - 1
-						ne.used[edgeIdx[normEdge(gu, gw)]] = true
-						next = append(next, ne)
+					if inv[gw] == -1 && g.labels[gw] == best.LJ && labelOf(gu, gw) == best.LE {
+						j := next.appendFrom(cur, e)
+						nas, ninv, nused := next.assignRow(j), next.invRow(j), next.usedRow(j)
+						nas[len(nas)-1] = gw
+						ninv[gw] = len(nas) - 1
+						nused[edgeIdx[normEdge(gu, gw)]] = true
 					}
 				}
 			} else {
@@ -183,27 +260,30 @@ func MinDFSCode(g *Graph) []CodeEdge {
 				// tuple, silently corrupting the code (two non-isomorphic
 				// graphs differing only in a cycle-closing edge label would
 				// collide).
-				gv, gw := emb.assign[best.I], emb.assign[best.J]
-				if g.HasEdge(gv, gw) && !emb.used[edgeIdx[normEdge(gv, gw)]] && labelOf(gv, gw) == best.LE {
-					ne := emb.clone()
-					ne.used[edgeIdx[normEdge(gv, gw)]] = true
-					next = append(next, ne)
+				assign, used := cur.assignRow(e), cur.usedRow(e)
+				gv, gw := assign[best.I], assign[best.J]
+				if g.HasEdge(gv, gw) && !used[edgeIdx[normEdge(gv, gw)]] && labelOf(gv, gw) == best.LE {
+					j := next.appendFrom(cur, e)
+					next.usedRow(j)[edgeIdx[normEdge(gv, gw)]] = true
 				}
 			}
 		}
-		embs = next
+		cur, next = next, cur
 		code = append(code, best)
 		if best.forward() {
 			// Truncate rmpath at the source and append the new vertex.
 			for i, v := range rmpath {
 				if v == best.I {
-					rmpath = append(rmpath[:i+1:i+1], best.J)
+					rmpath = rmpath[:i+1]
+					rmpath = append(rmpath, best.J)
 					break
 				}
 			}
 		}
 	}
-	return code
+	sc.code, sc.rmpath = code, rmpath
+	// The scratch-backed code is recycled; hand the caller an owned copy.
+	return append([]CodeEdge(nil), code...)
 }
 
 // CanonicalCode returns a string serialization of g's minimum DFS code. Two

@@ -5,22 +5,107 @@ package graph
 // standard (non-induced) subgraph isomorphism of the paper: an injective
 // mapping m from the query's nodes to the data graph's nodes such that labels
 // are preserved and every query edge {u,v} maps to a data edge {m(u), m(v)}.
+//
+// Match state is recycled through a sync.Pool so the per-candidate verify hot
+// path is allocation-free in steady state. All scratch is re-sliced and
+// cleared on acquire, never on release: a state dirtied by a panic or an
+// early-stop unwind is safe to reuse.
+
+import "sync"
+
+type vf2ResultMode uint8
+
+const (
+	// modeExists stops at the first embedding and records only existence.
+	modeExists vf2ResultMode = iota
+	// modeFirst stops at the first embedding and snapshots it into emb.
+	modeFirst
+	// modeCount counts embeddings up to limit (0 = unbounded).
+	modeCount
+	// modeForEach invokes fn per embedding until it returns true.
+	modeForEach
+)
 
 type vf2State struct {
-	q, g     *Graph
-	core     []int // query node -> data node, -1 if unmapped
-	mapped   []bool
-	order    []int // query node visit order (connected expansion)
-	parent   []int // order position -> earlier query neighbor (-1 for root)
-	onResult func(core []int) bool
+	q, g   *Graph
+	core   []int // query node -> data node, -1 if unmapped
+	mapped []bool
+	order  []int // query node visit order (connected expansion)
+	parent []int // order position -> earlier query neighbor (-1 for root)
+
+	inOrder []bool // buildOrder scratch
+
+	// Result handling is mode-based rather than closure-based so the hot
+	// entry points allocate nothing per call.
+	mode  vf2ResultMode
+	found bool
+	count int
+	limit int
+	emb   []int                 // modeFirst: freshly allocated embedding copy
+	fn    func(core []int) bool // modeForEach only
+}
+
+var vf2Pool = sync.Pool{New: func() any { return new(vf2State) }}
+
+// acquireState returns a cleared state bound to (q, g). Pair with release.
+func acquireState(q, g *Graph) *vf2State {
+	s := vf2Pool.Get().(*vf2State)
+	s.prepare(q, g)
+	return s
+}
+
+// release drops graph and callback references (so the pool never pins a
+// caller's graphs or closures) and recycles the scratch slices.
+func (s *vf2State) release() {
+	s.q, s.g, s.fn, s.emb = nil, nil, nil, nil
+	vf2Pool.Put(s)
+}
+
+// prepare re-slices and clears every piece of scratch for a new (q, g) pair.
+// Clearing happens here — on acquire — so reuse after a panic or cancel that
+// unwound mid-search is safe by construction.
+func (s *vf2State) prepare(q, g *Graph) {
+	s.q, s.g = q, g
+	s.core = resizeInts(s.core, q.NumNodes())
+	for i := range s.core {
+		s.core[i] = -1
+	}
+	s.mapped = resizeBools(s.mapped, g.NumNodes())
+	s.mode = modeExists
+	s.found = false
+	s.count, s.limit = 0, 0
+	s.fn = nil
+	s.emb = nil
+	s.buildOrder()
+}
+
+func resizeInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+// resizeBools returns an all-false bool slice of length n reusing buf's
+// backing array when large enough.
+func resizeBools(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		return make([]bool, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
 }
 
 // buildOrder produces a connected visit order over q's nodes starting from a
 // node with a rare label / high degree, with each subsequent node adjacent to
 // an already ordered one. q must be connected.
-func buildOrder(q *Graph) (order []int, parent []int) {
+func (s *vf2State) buildOrder() {
+	q := s.q
 	n := q.NumNodes()
-	inOrder := make([]bool, n)
+	s.inOrder = resizeBools(s.inOrder, n)
+	s.order = s.order[:0]
+	s.parent = s.parent[:0]
 	// Start from the highest-degree node; ties on smaller index.
 	start := 0
 	for v := 1; v < n; v++ {
@@ -28,97 +113,129 @@ func buildOrder(q *Graph) (order []int, parent []int) {
 			start = v
 		}
 	}
-	order = append(order, start)
-	parent = append(parent, -1)
-	inOrder[start] = true
-	for len(order) < n {
+	s.order = append(s.order, start)
+	s.parent = append(s.parent, -1)
+	if start < n {
+		s.inOrder[start] = true
+	}
+	for len(s.order) < n {
 		bestV, bestPar, bestDeg := -1, -1, -1
-		for _, u := range order {
+		for _, u := range s.order {
 			for _, w := range q.Neighbors(u) {
-				if !inOrder[w] && q.Degree(w) > bestDeg {
+				if !s.inOrder[w] && q.Degree(w) > bestDeg {
 					bestV, bestPar, bestDeg = w, u, q.Degree(w)
 				}
 			}
 		}
-		order = append(order, bestV)
-		parent = append(parent, bestPar)
-		inOrder[bestV] = true
+		s.order = append(s.order, bestV)
+		s.parent = append(s.parent, bestPar)
+		s.inOrder[bestV] = true
 	}
-	return order, parent
+}
+
+// onResult consumes a complete mapping; returning true stops the search.
+func (s *vf2State) onResult() bool {
+	switch s.mode {
+	case modeExists:
+		s.found = true
+		return true
+	case modeFirst:
+		s.found = true
+		s.emb = append([]int(nil), s.core...)
+		return true
+	case modeCount:
+		s.count++
+		return s.limit > 0 && s.count >= s.limit
+	default:
+		return s.fn(s.core)
+	}
 }
 
 func (s *vf2State) match(depth int) bool {
 	if depth == len(s.order) {
-		return s.onResult(s.core)
+		return s.onResult()
 	}
 	qv := s.order[depth]
 	par := s.parent[depth]
 
-	var candidates []int
 	if par == -1 {
-		candidates = make([]int, s.g.NumNodes())
-		for i := range candidates {
-			candidates[i] = i
+		// Root: every data node is a candidate; iterate directly rather
+		// than materializing a slice.
+		for gv := 0; gv < s.g.NumNodes(); gv++ {
+			if s.tryCandidate(depth, qv, gv) {
+				return true
+			}
 		}
-	} else {
-		candidates = s.g.Neighbors(s.core[par])
+		return false
 	}
-
-cand:
-	for _, gv := range candidates {
-		if s.mapped[gv] || s.g.Label(gv) != s.q.Label(qv) {
-			continue
-		}
-		if s.g.Degree(gv) < s.q.Degree(qv) {
-			continue
-		}
-		// All already-mapped query neighbors of qv must map to neighbors
-		// of gv, with matching edge labels.
-		for _, qn := range s.q.Neighbors(qv) {
-			if s.core[qn] == -1 {
-				continue
-			}
-			if !s.g.HasEdge(gv, s.core[qn]) {
-				continue cand
-			}
-			if s.q.EdgeLabel(qv, qn) != s.g.EdgeLabel(gv, s.core[qn]) {
-				continue cand
-			}
-		}
-		s.core[qv] = gv
-		s.mapped[gv] = true
-		if s.match(depth + 1) {
+	for _, gv := range s.g.Neighbors(s.core[par]) {
+		if s.tryCandidate(depth, qv, gv) {
 			return true
 		}
-		s.core[qv] = -1
-		s.mapped[gv] = false
 	}
 	return false
 }
 
+// tryCandidate attempts to extend the mapping with qv -> gv and recurse;
+// returning true stops the search.
+func (s *vf2State) tryCandidate(depth, qv, gv int) bool {
+	if s.mapped[gv] || s.g.Label(gv) != s.q.Label(qv) {
+		return false
+	}
+	if s.g.Degree(gv) < s.q.Degree(qv) {
+		return false
+	}
+	// All already-mapped query neighbors of qv must map to neighbors of gv,
+	// with matching edge labels.
+	for _, qn := range s.q.Neighbors(qv) {
+		if s.core[qn] == -1 {
+			continue
+		}
+		if !s.g.HasEdge(gv, s.core[qn]) {
+			return false
+		}
+		if s.q.EdgeLabel(qv, qn) != s.g.EdgeLabel(gv, s.core[qn]) {
+			return false
+		}
+	}
+	s.core[qv] = gv
+	s.mapped[gv] = true
+	if s.match(depth + 1) {
+		return true
+	}
+	s.core[qv] = -1
+	s.mapped[gv] = false
+	return false
+}
+
 // SubgraphIsomorphic reports whether q is subgraph-isomorphic to g (q ⊆ g in
-// the paper's notation). q must be connected.
+// the paper's notation). q must be connected. Allocation-free in steady
+// state: the match state comes from a pool and no closure is created.
 func SubgraphIsomorphic(q, g *Graph) bool {
-	return firstEmbedding(q, g) != nil
+	if q.NumNodes() > g.NumNodes() || q.NumEdges() > g.NumEdges() {
+		return false
+	}
+	s := acquireState(q, g)
+	defer s.release()
+	s.mode = modeExists
+	s.match(0)
+	return s.found
 }
 
 // FindEmbedding returns one embedding of q into g as a query-node -> data-node
-// slice, or nil if none exists.
+// slice, or nil if none exists. The returned slice is freshly allocated and
+// owned by the caller.
 func FindEmbedding(q, g *Graph) []int {
-	return firstEmbedding(q, g)
-}
-
-func firstEmbedding(q, g *Graph) []int {
 	if q.NumNodes() > g.NumNodes() || q.NumEdges() > g.NumEdges() {
 		return nil
 	}
-	var result []int
-	s := newState(q, g, func(core []int) bool {
-		result = append([]int(nil), core...)
-		return true
-	})
+	s := acquireState(q, g)
+	defer s.release()
+	s.mode = modeFirst
 	s.match(0)
-	return result
+	out := s.emb
+	s.emb = nil
+	return out
 }
 
 // CountEmbeddings counts embeddings of q in g, stopping at limit (0 = no
@@ -128,38 +245,39 @@ func CountEmbeddings(q, g *Graph, limit int) int {
 	if q.NumNodes() > g.NumNodes() || q.NumEdges() > g.NumEdges() {
 		return 0
 	}
-	count := 0
-	s := newState(q, g, func([]int) bool {
-		count++
-		return limit > 0 && count >= limit
-	})
+	s := acquireState(q, g)
+	defer s.release()
+	s.mode = modeCount
+	s.limit = limit
 	s.match(0)
-	return count
+	return s.count
 }
 
 // ForEachEmbedding invokes fn for every embedding of q in g (query-node ->
 // data-node slice, valid only during the call). Returning true from fn stops
-// the enumeration.
+// the enumeration. If fn panics, the pooled state is still recycled safely
+// (scratch is cleared on acquire, not release).
 func ForEachEmbedding(q, g *Graph, fn func(core []int) bool) {
 	if q.NumNodes() > g.NumNodes() || q.NumEdges() > g.NumEdges() {
 		return
 	}
-	s := newState(q, g, fn)
+	s := acquireState(q, g)
+	defer s.release()
+	s.mode = modeForEach
+	s.fn = fn
 	s.match(0)
 }
 
-func newState(q, g *Graph, onResult func([]int) bool) *vf2State {
-	order, parent := buildOrder(q)
-	s := &vf2State{
-		q: q, g: g,
-		core:     make([]int, q.NumNodes()),
-		mapped:   make([]bool, g.NumNodes()),
-		order:    order,
-		parent:   parent,
-		onResult: onResult,
+// forEachEmbeddingFresh runs the same search on a freshly allocated,
+// never-pooled state. It exists for differential tests that pin pooled and
+// fresh execution to identical results.
+func forEachEmbeddingFresh(q, g *Graph, fn func(core []int) bool) {
+	if q.NumNodes() > g.NumNodes() || q.NumEdges() > g.NumEdges() {
+		return
 	}
-	for i := range s.core {
-		s.core[i] = -1
-	}
-	return s
+	s := new(vf2State)
+	s.prepare(q, g)
+	s.mode = modeForEach
+	s.fn = fn
+	s.match(0)
 }

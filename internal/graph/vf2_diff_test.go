@@ -1,0 +1,146 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomPair builds a random connected data graph and a connected query
+// sampled from its label alphabet (so matches are plausible but not
+// guaranteed).
+func randomPair(r *rand.Rand) (q, g *Graph) {
+	labels := []string{"C", "C", "N", "O"}
+	gn := 6 + r.Intn(10)
+	g = New(0)
+	for v := 0; v < gn; v++ {
+		g.AddNode(labels[r.Intn(len(labels))])
+	}
+	for v := 1; v < gn; v++ {
+		g.MustAddEdge(v, r.Intn(v))
+	}
+	for k := 0; k < r.Intn(5); k++ {
+		u, v := r.Intn(gn), r.Intn(gn)
+		if u != v && !g.HasEdge(u, v) {
+			g.MustAddEdge(u, v)
+		}
+	}
+	qn := 2 + r.Intn(4)
+	q = New(1)
+	for v := 0; v < qn; v++ {
+		q.AddNode(labels[r.Intn(len(labels))])
+	}
+	for v := 1; v < qn; v++ {
+		q.MustAddEdge(v, r.Intn(v))
+	}
+	return q, g
+}
+
+func collectEmbeddings(run func(q, g *Graph, fn func([]int) bool), q, g *Graph, stopAfter int) [][]int {
+	var out [][]int
+	run(q, g, func(core []int) bool {
+		out = append(out, append([]int(nil), core...))
+		return stopAfter > 0 && len(out) >= stopAfter
+	})
+	return out
+}
+
+// TestVF2PooledMatchesFresh pins the pooled search to the never-pooled
+// reference implementation: identical embeddings in identical order, and
+// identical truncation when the consumer stops early. Runs across many
+// seeded random pairs so state-reuse bugs (stale core/mapped entries, stale
+// order) have inputs of every shape to surface on.
+func TestVF2PooledMatchesFresh(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		q, g := randomPair(r)
+		for _, stop := range []int{0, 1, 3} {
+			pooled := collectEmbeddings(ForEachEmbedding, q, g, stop)
+			fresh := collectEmbeddings(forEachEmbeddingFresh, q, g, stop)
+			if !reflect.DeepEqual(pooled, fresh) {
+				t.Fatalf("seed %d stop %d: pooled %v != fresh %v", seed, stop, pooled, fresh)
+			}
+		}
+		// The aggregate entry points must agree with the enumeration.
+		all := collectEmbeddings(forEachEmbeddingFresh, q, g, 0)
+		if got, want := SubgraphIsomorphic(q, g), len(all) > 0; got != want {
+			t.Fatalf("seed %d: SubgraphIsomorphic = %v, want %v", seed, got, want)
+		}
+		if got := CountEmbeddings(q, g, 0); got != len(all) {
+			t.Fatalf("seed %d: CountEmbeddings = %d, want %d", seed, got, len(all))
+		}
+		if emb := FindEmbedding(q, g); len(all) == 0 {
+			if emb != nil {
+				t.Fatalf("seed %d: FindEmbedding = %v on unmatched pair", seed, emb)
+			}
+		} else if !reflect.DeepEqual(emb, all[0]) {
+			t.Fatalf("seed %d: FindEmbedding = %v, want first embedding %v", seed, emb, all[0])
+		}
+	}
+}
+
+// TestVF2ReuseAfterEarlyStop reuses a pooled state dirtied by a truncated
+// enumeration (the cancel schedule: the consumer aborted mid-search, leaving
+// core/mapped partially populated) and checks the next search on the same
+// goroutine is unaffected.
+func TestVF2ReuseAfterEarlyStop(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		r := rand.New(rand.NewSource(1000 + seed))
+		q, g := randomPair(r)
+		ForEachEmbedding(q, g, func([]int) bool { return true }) // dirty the state
+		q2, g2 := randomPair(r)
+		pooled := collectEmbeddings(ForEachEmbedding, q2, g2, 0)
+		fresh := collectEmbeddings(forEachEmbeddingFresh, q2, g2, 0)
+		if !reflect.DeepEqual(pooled, fresh) {
+			t.Fatalf("seed %d: after early stop, pooled %v != fresh %v", seed, pooled, fresh)
+		}
+	}
+}
+
+// TestVF2ReuseAfterPanicRecovery panics out of the consumer callback mid
+// search — unwinding through match() with the state fully dirtied and the
+// deferred release() still recycling it — and checks subsequent searches see
+// none of it.
+func TestVF2ReuseAfterPanicRecovery(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		r := rand.New(rand.NewSource(2000 + seed))
+		q, g := randomPair(r)
+		func() {
+			defer func() {
+				if recover() == nil {
+					// No embedding existed, so the callback never ran.
+					return
+				}
+			}()
+			ForEachEmbedding(q, g, func([]int) bool { panic("consumer failure") })
+		}()
+		q2, g2 := randomPair(r)
+		pooled := collectEmbeddings(ForEachEmbedding, q2, g2, 0)
+		fresh := collectEmbeddings(forEachEmbeddingFresh, q2, g2, 0)
+		if !reflect.DeepEqual(pooled, fresh) {
+			t.Fatalf("seed %d: after panic recovery, pooled %v != fresh %v", seed, pooled, fresh)
+		}
+	}
+}
+
+// TestVF2PooledConcurrent hammers the pool from parallel goroutines under
+// -race: states must never be shared while in use, and per-goroutine results
+// must match the fresh reference.
+func TestVF2PooledConcurrent(t *testing.T) {
+	for w := 0; w < 8; w++ {
+		w := w
+		t.Run(fmt.Sprintf("worker%d", w), func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(0); seed < 30; seed++ {
+				r := rand.New(rand.NewSource(int64(w)*100 + seed))
+				q, g := randomPair(r)
+				pooled := collectEmbeddings(ForEachEmbedding, q, g, 0)
+				fresh := collectEmbeddings(forEachEmbeddingFresh, q, g, 0)
+				if !reflect.DeepEqual(pooled, fresh) {
+					t.Fatalf("seed %d: pooled != fresh under concurrency", seed)
+				}
+			}
+		})
+	}
+}

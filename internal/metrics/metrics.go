@@ -65,6 +65,14 @@ const (
 	CounterShardGraphsMin = "shard_graphs_min" // smallest shard's graph count
 	CounterShardGraphsMax = "shard_graphs_max" // largest shard's graph count
 
+	// Adaptive verify-prefilter counters (core chooser; see
+	// internal/core/chooser.go). One arm counter bumps per chooser decision;
+	// pruned counts candidates removed before reaching the VF2 verifier.
+	CounterFilterArmProbe     = "filter_arm_probe"     // decisions resolved to the bare probe
+	CounterFilterArmGrafil    = "filter_arm_grafil"    // decisions resolved to count filtering
+	CounterFilterArmSignature = "filter_arm_signature" // decisions resolved to signature pruning
+	CounterFilterPruned       = "filter_pruned_total"  // candidates pruned before verification
+
 	// Online mutation counters (Service.InsertGraph / Service.DeleteGraph).
 	// The epoch
 	// is a level gauge: the store's current epoch after the last mutation.

@@ -1,0 +1,10 @@
+//go:build race
+
+// Package raceflag reports whether the race detector instruments this build.
+// Allocation-budget tests consult it: the detector adds shadow allocations
+// that would fail pinned testing.AllocsPerRun budgets, so those assertions
+// are skipped under -race while the correctness parts still run.
+package raceflag
+
+// Enabled is true when the binary was built with -race.
+const Enabled = true

@@ -399,10 +399,12 @@ func TestRunCancellationMidVerification(t *testing.T) {
 		t.Skip("large fixture")
 	}
 	db, idx := buildFixture(t, 16_000, 23, 0.3, 6)
-	// Caching is disabled: a second session's run must hit live verification
-	// for there to be anything to cancel (a cached run finishes instantly).
+	// Caching and the verify prefilter are disabled: a second session's run
+	// must hit live verification of the full candidate set for there to be
+	// anything to cancel (a cached or heavily pruned run finishes before the
+	// cancel can land).
 	svc, err := New(db, idx, WithSigma(4), WithVerifyWorkers(4), WithMetrics(metrics.NewRegistry()),
-		WithSessionTTL(0), WithCandidateCache(0))
+		WithSessionTTL(0), WithCandidateCache(0), WithFilterChooser(core.FilterProbe))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,56 @@
+package spig
+
+import (
+	"testing"
+
+	"prague/internal/raceflag"
+)
+
+// SPIG construction runs on every formulation step; its scratch (fragment
+// memo, int arena, dedup keys) is owned by the Set and reused across user
+// actions. These budgets pin the reuse: the memo-hit path is allocation-free
+// and a warm Set rebuilds a whole SPIG far below what fresh per-level
+// allocation would cost.
+func TestSpigScratchAllocBudget(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation budgets are not meaningful under -race")
+	}
+	idx, _ := buildIndexes(t, 3, 15, 0.3)
+	q, S := formulate(t, idx, []string{"C", "C", "C", "N"},
+		[]edgeSpec{{0, 1}, {1, 2}, {0, 2}, {2, 3}})
+
+	// Memo-hit path: fragment + canonical code for an already-seen step set.
+	steps := []int{1, 2, 3}
+	if _, _, _, ok := S.fragAndCode(q, steps); !ok {
+		t.Fatal("fixture step set is not connected")
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if _, _, computed, _ := S.fragAndCode(q, steps); computed {
+			t.Fatal("memo missed on a repeated step set")
+		}
+	}); n != 0 {
+		t.Errorf("fragAndCode memo hit allocates %.1f/op, budget 0", n)
+	}
+
+	// without uses the Set's subBuf scratch.
+	if n := testing.AllocsPerRun(100, func() {
+		_ = S.without(steps, 2)
+	}); n != 0 {
+		t.Errorf("without allocates %.1f/op after warmup, budget 0", n)
+	}
+
+	// Warm reconstruction (the modify-then-reformulate action): dropping a
+	// step's SPIG and rebuilding it hits the fragment/code memo for every
+	// subset, so the rebuild costs only the SPIG's own vertex/level
+	// structures — far below the cold construction, which recomputes a
+	// canonical code per connected subset.
+	const budget = 220
+	if n := testing.AllocsPerRun(20, func() {
+		S.Remove(4)
+		if _, err := S.Construct(q, 4); err != nil {
+			t.Fatal(err)
+		}
+	}); n > budget {
+		t.Errorf("warm SPIG reconstruction allocates %.1f/op, budget %d", n, budget)
+	}
+}

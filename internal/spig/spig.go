@@ -121,16 +121,130 @@ type Classifier interface {
 	Lookup(code string) (index.Kind, int)
 }
 
-// Set is the SPIG set S maintained across formulation steps.
+// fragMemo caches the materialized fragment and canonical code of one step
+// subset. Step labels are never reused by a Query (deletes and relabels
+// allocate fresh steps), so a step set identifies an immutable fragment and
+// entries never go stale — deleted steps simply become unreachable keys.
+type fragMemo struct {
+	frag *graph.Graph
+	code string
+}
+
+// maxFragMemo bounds the cross-action fragment memo; past it the memo is
+// reset wholesale (long editing sessions with many deletes/relabels would
+// otherwise accumulate unreachable entries).
+const maxFragMemo = 1 << 14
+
+// Set is the SPIG set S maintained across formulation steps. A Set serves a
+// single formulation session over a single *query.Query and, like the engine
+// that owns it, is not safe for concurrent use.
 type Set struct {
 	spigs map[int]*SPIG
 	order []int // ascending ℓ
 	idx   Classifier
+
+	// Scratch reused across user actions: one formulation session issues
+	// hundreds of ConstructCtx calls over overlapping step subsets, and the
+	// same subsets recur every time the query grows by an edge. All scratch
+	// is invisible in results — vertices own their Reps and the memo's
+	// fragments are immutable.
+	memoQ   *query.Query        // query the memo was built against
+	memo    map[string]fragMemo // stepsKey -> fragment + canonical code
+	subsets [][]int             // current-level subset scratch
+	nextSub [][]int             // next-level subset scratch
+	arena   []int               // backing storage carved into subset slices
+	seen    map[string]bool     // next-level dedup scratch
+	keyBuf  []byte              // stepsKey scratch
+	subBuf  []int               // classify's per-parent subset scratch
 }
 
 // NewSet returns an empty SPIG set bound to the action-aware indexes.
 func NewSet(idx Classifier) *Set {
 	return &Set{spigs: map[int]*SPIG{}, idx: idx}
+}
+
+// stepsKey renders a sorted step set into the reusable key buffer. The
+// returned slice is valid until the next call; map lookups on string(key)
+// do not allocate.
+func (S *Set) stepsKey(steps []int) []byte {
+	b := S.keyBuf[:0]
+	for i, s := range steps {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, int64(s), 10)
+	}
+	S.keyBuf = b
+	return b
+}
+
+// fragAndCode returns the fragment induced by the sorted step set and its
+// canonical code, memoized across user actions. computed reports whether the
+// code was computed on this call (for trace accounting). ok is false for a
+// disconnected subset.
+func (S *Set) fragAndCode(q *query.Query, steps []int) (frag *graph.Graph, code string, computed, ok bool) {
+	if S.memoQ != q || len(S.memo) > maxFragMemo {
+		S.memoQ = q
+		S.memo = make(map[string]fragMemo)
+	}
+	key := S.stepsKey(steps)
+	if m, hit := S.memo[string(key)]; hit {
+		return m.frag, m.code, false, true
+	}
+	frag, connected := q.FragmentOf(steps)
+	if !connected {
+		return nil, "", false, false
+	}
+	code = graph.CanonicalCode(frag)
+	S.memo[string(key)] = fragMemo{frag: frag, code: code}
+	return frag, code, true, true
+}
+
+// carve allocates an n-int slice from the construction arena. Slices carved
+// earlier stay valid when the arena grows (they keep pointing into the old
+// chunk); the arena is rewound only at the start of a construction, when no
+// prior carved slice is live.
+func (S *Set) carve(n int) []int {
+	if len(S.arena)+n > cap(S.arena) {
+		c := 2 * cap(S.arena)
+		if c < 1024 {
+			c = 1024
+		}
+		if c < n {
+			c = n
+		}
+		S.arena = make([]int, 0, c)
+	}
+	off := len(S.arena)
+	S.arena = S.arena[:off+n]
+	return S.arena[off : off+n : off+n]
+}
+
+// without returns src minus element t in the reusable subBuf scratch; the
+// result is valid until the next call.
+func (S *Set) without(src []int, t int) []int {
+	b := S.subBuf[:0]
+	for _, x := range src {
+		if x != t {
+			b = append(b, x)
+		}
+	}
+	S.subBuf = b
+	return b
+}
+
+// carveInsert carves a copy of the sorted set src with u inserted in order.
+// u must not already be in src.
+func (S *Set) carveInsert(src []int, u int) []int {
+	ns := S.carve(len(src) + 1)
+	i := 0
+	for i < len(src) && src[i] < u {
+		ns[i] = src[i]
+		i++
+	}
+	ns[i] = u
+	copy(ns[i+1:], src[i:])
+	return ns
 }
 
 // SetClassifier rebinds the set to a different classifier — typically an
@@ -223,26 +337,32 @@ func (S *Set) ConstructCtx(ctx context.Context, q *query.Query, ell int) (*SPIG,
 		s.byCode[k] = map[string]*Vertex{}
 	}
 
-	// Level-by-level growth of connected step subsets containing eℓ.
+	// Level-by-level growth of connected step subsets containing eℓ. Subset
+	// slices are carved from the reusable arena; fragments and codes come
+	// from the cross-action memo (the same subsets recur at every step of a
+	// growing query).
 	var canonDur, probeDur time.Duration
 	var canonN, probeN int64
-	subsets := [][]int{{ell}}
+	S.arena = S.arena[:0]
+	subsets := S.subsets[:0]
+	first := S.carve(1)
+	first[0] = ell
+	subsets = append(subsets, first)
 	for k := 1; k <= n; k++ {
 		// Group this level's subsets into isomorphism classes.
 		for _, steps := range subsets {
-			frag, connected := q.FragmentOf(steps)
-			if !connected {
-				// Cannot happen: subsets grow by edge adjacency.
-				return nil, fmt.Errorf("spig: internal: disconnected subset %v", steps)
-			}
 			var t0 time.Time
 			if sp != nil {
 				t0 = time.Now()
 			}
-			code := graph.CanonicalCode(frag)
-			if sp != nil {
+			frag, code, computed, ok := S.fragAndCode(q, steps)
+			if sp != nil && computed {
 				canonDur += time.Since(t0)
 				canonN++
+			}
+			if !ok {
+				// Cannot happen: subsets grow by edge adjacency.
+				return nil, fmt.Errorf("spig: internal: disconnected subset %v", steps)
 			}
 			v := s.byCode[k][code]
 			if v == nil {
@@ -271,25 +391,31 @@ func (S *Set) ConstructCtx(ctx context.Context, q *query.Query, ell int) (*SPIG,
 			break
 		}
 		// Next level's subsets.
-		seen := map[string]bool{}
-		var next [][]int
+		if S.seen == nil {
+			S.seen = map[string]bool{}
+		} else {
+			clear(S.seen)
+		}
+		next := S.nextSub[:0]
 		for _, steps := range subsets {
 			for _, t := range steps {
 				for _, u := range adj[t] {
 					if intset.Contains(steps, u) {
 						continue
 					}
-					ns := intset.Normalize(append(intset.Clone(steps), u))
-					key := repKey(ns)
-					if !seen[key] {
-						seen[key] = true
+					ns := S.carveInsert(steps, u)
+					key := S.stepsKey(ns)
+					if !S.seen[string(key)] {
+						S.seen[string(key)] = true
 						next = append(next, ns)
 					}
 				}
 			}
 		}
+		S.nextSub = subsets // recycle the finished level's header slice
 		subsets = next
 	}
+	S.subsets = subsets[:0]
 
 	if sp != nil {
 		sp.Record(trace.KindCanonical, canonDur, "codes", canonN)
@@ -331,15 +457,14 @@ func (S *Set) classify(q *query.Query, s *SPIG, v *Vertex) {
 
 	for _, rep := range v.Reps {
 		for _, t := range rep {
-			sub := intset.Diff(rep, []int{t})
+			sub := S.without(rep, t)
 			if len(sub) == 0 {
 				continue
 			}
-			frag, connected := q.FragmentOf(sub)
-			if !connected {
+			_, code, _, ok := S.fragAndCode(q, sub)
+			if !ok {
 				continue
 			}
-			code := graph.CanonicalCode(frag)
 			if t != s.L {
 				// Largest subgraph containing eℓ: a parent in this SPIG.
 				if p := s.FindByCode(v.Level-1, code); p != nil {

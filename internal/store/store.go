@@ -21,6 +21,7 @@ package store
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"prague/internal/graph"
 	"prague/internal/index"
@@ -149,12 +150,51 @@ func MergeSorted(parts [][]int) []int {
 	case 1:
 		return parts[0]
 	}
+	// Fast path: well-formed parts (strictly ascending, non-negative — what
+	// shards actually produce) of reasonable density union through a pooled
+	// compressed bitset in one pass per part, allocating only the result.
+	lo, hi, total := 0, -1, 0
+	wellFormed := true
+scan:
+	for _, p := range parts {
+		for i, v := range p {
+			if v < 0 || (i > 0 && v <= p[i-1]) {
+				wellFormed = false
+				break scan
+			}
+		}
+		if len(p) > 0 {
+			if hi < 0 || p[0] < lo {
+				lo = p[0]
+			}
+			if p[len(p)-1] > hi {
+				hi = p[len(p)-1]
+			}
+			total += len(p)
+		}
+	}
+	if wellFormed && total > 0 && (hi-lo)/64 <= 4*total {
+		b := mergeBits.Get().(*intset.Bits)
+		b.SetRange(lo, hi)
+		for _, p := range parts {
+			for _, v := range p {
+				b.Add(v)
+			}
+		}
+		out := b.AppendTo(make([]int, 0, b.Len()))
+		mergeBits.Put(b)
+		return out
+	}
+	// Adversarial or hyper-sparse input: the comparison-based merge is
+	// order-independent and dedups regardless.
 	var out []int
 	for _, p := range parts {
 		out = intset.Union(out, p)
 	}
 	return out
 }
+
+var mergeBits = sync.Pool{New: func() any { return new(intset.Bits) }}
 
 // SplitBy partitions a sorted id list by shard ownership, preserving order:
 // result[i] holds the ids owned by shard i, still ascending. It accepts any

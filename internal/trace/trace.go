@@ -51,8 +51,9 @@ const (
 	KindVerifyBatch // one verification fan-out through the workpool
 	KindVerifyCand  // one candidate's VF2 (or SimVerify) check
 	KindSimilarEval // Algorithm 5: similarity result generation
-	KindDegrade     // transparent containment→similarity degradation
-	KindShardEval   // per-shard candidate/verification fan-out
+	KindDegrade      // transparent containment→similarity degradation
+	KindShardEval    // per-shard candidate/verification fan-out
+	KindFilterChoose // adaptive verify-prefilter arm selection + pruning
 
 	numKinds
 )
@@ -70,8 +71,9 @@ var kindNames = [numKinds]string{
 	KindVerifyBatch: "verify_batch",
 	KindVerifyCand:  "verify_candidate",
 	KindSimilarEval: "similar_eval",
-	KindDegrade:     "degrade_similarity",
-	KindShardEval:   "shard_eval",
+	KindDegrade:      "degrade_similarity",
+	KindShardEval:    "shard_eval",
+	KindFilterChoose: "filter_choose",
 }
 
 func (k Kind) String() string {

@@ -412,6 +412,32 @@ func WithShards(n int) Option { return service.WithShards(n) }
 // to pass only the store.
 func WithStore(st GraphStore) Option { return service.WithStore(st) }
 
+// FilterMode selects the verify-prefilter arm for WithFilterChooser:
+// FilterAuto (default), FilterProbe, FilterGrafil, or FilterSignature.
+type FilterMode = core.FilterMode
+
+// Verify-prefilter modes (see WithFilterChooser).
+const (
+	FilterAuto      = core.FilterAuto
+	FilterProbe     = core.FilterProbe
+	FilterGrafil    = core.FilterGrafil
+	FilterSignature = core.FilterSignature
+)
+
+// FilterDecision is one chooser outcome: the arm picked, the candidate
+// counts before/after pruning, and the cost-model rationale.
+type FilterDecision = core.FilterDecision
+
+// WithFilterChooser sets how each session prefilters verification
+// candidates. FilterAuto (the default) picks per action between the bare
+// index probe, Grafil-style feature-count filtering, and signature pruning
+// using a small cost model over the query's shape and the pinned epoch's
+// label statistics; the other modes pin one arm. Every arm is a sound
+// superset filter, so final verified answers are identical — only the
+// verification work changes. Decisions are recorded in trace spans, the
+// filter_arm_* / filter_pruned_total metrics, and Session.FilterExplain.
+func WithFilterChooser(m FilterMode) Option { return service.WithFilterChooser(m) }
+
 // ---- Caching options ------------------------------------------------------
 //
 // What evaluation work is shared across sessions.

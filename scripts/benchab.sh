@@ -1,0 +1,96 @@
+#!/bin/sh
+# Benchmark A/B: run the verify hot-path benchmarks at a base git ref and on
+# the working tree, then print a before/after table of ns_per_op and
+# allocs_per_op with percentage deltas. The table is informational — shared
+# CI runners are too noisy for a pass/fail latency gate — while genuine
+# allocation regressions fail the pinned AllocBudget tests in verify.sh.
+#
+#   ./scripts/benchab.sh              base = origin/main, else HEAD~1
+#   ./scripts/benchab.sh <ref>        explicit base ref
+#
+# Environment knobs:
+#   BENCH_RE     benchmark selector (default: the verify hot-path set)
+#   BENCH_COUNT  runs per benchmark; the minimum is reported (default 3)
+#   BENCH_TIME   -benchtime per run (default 1x: exact allocs, jitter
+#                guarded by taking the min over BENCH_COUNT runs)
+set -eu
+cd "$(dirname "$0")/.."
+
+base="${1:-}"
+if [ -z "$base" ]; then
+	for cand in origin/main HEAD~1; do
+		if git rev-parse --verify --quiet "$cand^{commit}" >/dev/null 2>&1; then
+			base="$cand"
+			break
+		fi
+	done
+fi
+
+re="${BENCH_RE:-^(BenchmarkMinDFSCode|BenchmarkSubgraphIsomorphism|BenchmarkSpigConstructPerStep|BenchmarkCandCacheMultiSession)$}"
+count="${BENCH_COUNT:-3}"
+benchtime="${BENCH_TIME:-1x}"
+
+tmp="$(mktemp -d "${TMPDIR:-/tmp}/prague-benchab.XXXXXX")"
+cleanup() {
+	git worktree remove --force "$tmp/base" >/dev/null 2>&1 || true
+	rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+runbench() { # $1 = source dir, $2 = raw output file
+	(cd "$1" && go test -run '^$' -bench "$re" -benchmem \
+		-benchtime "$benchtime" -count "$count" .) >"$2"
+}
+
+# Collapse -count runs to the per-benchmark minimum (the standard jitter
+# guard: noise only ever inflates a run).
+summarize() { # $1 = raw output file, $2 = summary file
+	awk '
+		/^Benchmark/ {
+			name = $1; ns = ""; al = ""
+			for (i = 2; i <= NF; i++) {
+				if ($i == "ns/op") ns = $(i - 1)
+				if ($i == "allocs/op") al = $(i - 1)
+			}
+			if (ns == "") next
+			if (!(name in minns) || ns + 0 < minns[name] + 0) minns[name] = ns
+			if (al != "" && (!(name in minal) || al + 0 < minal[name] + 0)) minal[name] = al
+		}
+		END {
+			for (n in minns) printf "%s %s %s\n", n, minns[n], (n in minal) ? minal[n] : 0
+		}
+	' "$1" | sort >"$2"
+}
+
+echo "benchab: after = working tree, benchmarks = $re"
+runbench . "$tmp/after.raw"
+summarize "$tmp/after.raw" "$tmp/after.sum"
+
+if [ -z "$base" ]; then
+	echo "benchab: no base ref available (shallow clone?); after-only numbers:"
+	awk '{ printf "  %-55s %14.0f ns/op %12.0f allocs/op\n", $1, $2, $3 }' "$tmp/after.sum"
+	exit 0
+fi
+
+echo "benchab: before = $base ($(git rev-parse --short "$base"))"
+git worktree add --detach "$tmp/base" "$base" >/dev/null
+runbench "$tmp/base" "$tmp/before.raw"
+summarize "$tmp/before.raw" "$tmp/before.sum"
+
+printf '%-55s %14s %14s %8s %12s %12s %8s\n' \
+	benchmark before_ns_op after_ns_op delta before_allocs after_allocs delta
+awk '
+	NR == FNR { ns[$1] = $2; al[$1] = $3; next }
+	{
+		if ($1 in ns) {
+			dns = (ns[$1] + 0 > 0) ? ($2 - ns[$1]) * 100.0 / ns[$1] : 0
+			dal = (al[$1] + 0 > 0) ? ($3 - al[$1]) * 100.0 / al[$1] : 0
+			printf "%-55s %14.0f %14.0f %+7.1f%% %12.0f %12.0f %+7.1f%%\n",
+				$1, ns[$1], $2, dns, al[$1], $3, dal
+			delete ns[$1]
+		} else {
+			printf "%-55s %14s %14.0f %8s %12s %12.0f %8s\n", $1, "-", $2, "new", "-", $3, "new"
+		}
+	}
+	END { for (n in ns) printf "%-55s %14.0f %14s %8s %12.0f %12s %8s\n", n, ns[n], "-", "gone", al[n], "-", "gone" }
+' "$tmp/before.sum" "$tmp/after.sum"

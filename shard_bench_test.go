@@ -171,10 +171,11 @@ func TestShardArtifact(t *testing.T) {
 		"workload":   "similarity query (worst-case Fig 9 pick), formulation untimed, Run timed",
 		"query":      wq.Name,
 		"gomaxprocs": maxprocs,
+		"num_cpu":    runtime.NumCPU(),
 		"attempts":   attempts,
 		"layouts":    rows,
 		"identical":  true,
-		"note":       "split_ms is the sequential delta-split prologue; build_ms the concurrent per-shard index construction; answers byte-identical across layouts",
+		"note":       "split_ms is the sequential delta-split prologue; build_ms the concurrent per-shard index construction; answers byte-identical across layouts; SRT speedup is only physical when num_cpu provides real parallelism",
 	}
 	buf, err := json.MarshalIndent(artifact, "", "  ")
 	if err != nil {
@@ -185,10 +186,22 @@ func TestShardArtifact(t *testing.T) {
 	}
 	t.Logf("shard artifact: gomaxprocs=%d rows=%+v", maxprocs, rows)
 
-	if maxprocs >= 4 {
+	// Capability-gated parallelism asserts: GOMAXPROCS can be raised on any
+	// box, but goroutines only run concurrently when the hardware has the
+	// cores, so both gates check runtime.NumCPU — on a single-CPU runner the
+	// per-shard fan-out serializes and sharding is pure coordination
+	// overhead, which the artifact records honestly but must not fail on.
+	if maxprocs >= 4 && runtime.NumCPU() >= 4 {
 		if stats[4].BuildTime >= stats[1].BuildTime {
 			t.Errorf("4-shard concurrent build (%v) did not beat the 1-shard build (%v) on a %d-way runner",
 				stats[4].BuildTime, stats[1].BuildTime, maxprocs)
+		}
+	}
+	if maxprocs >= 8 && runtime.NumCPU() >= 8 {
+		mono, eight := rows[0].SRTNsPerO, rows[len(rows)-1].SRTNsPerO
+		if eight >= mono {
+			t.Errorf("8-shard SRT (%d ns/op) did not beat monolithic SRT (%d ns/op) on a %d-way runner",
+				eight, mono, runtime.NumCPU())
 		}
 	}
 }

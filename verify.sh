@@ -13,6 +13,10 @@ fi
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/service/ ./internal/core/ ./internal/candcache/ ./internal/clock/ ./internal/difftest/ ./internal/trace/ ./internal/ops/ ./internal/metrics/ ./internal/workpool/ ./internal/faultinject/ ./internal/chaostest/ ./internal/store/
+go test -race ./internal/service/ ./internal/core/ ./internal/candcache/ ./internal/clock/ ./internal/difftest/ ./internal/trace/ ./internal/ops/ ./internal/metrics/ ./internal/workpool/ ./internal/faultinject/ ./internal/chaostest/ ./internal/store/ ./internal/graph/ ./internal/spig/ ./internal/intset/
 go test -race -run 'TestMutationStressUnderRace|TestMutationChaos' ./internal/store/ ./internal/chaostest/
+# Allocation budgets on the verify hot path (pooled VF2, SPIG scratch,
+# bitset intersection) — must run WITHOUT -race: the detector's shadow
+# allocations would trip the pinned budgets, so these tests self-skip there.
+go test -run 'AllocBudget' ./internal/graph/ ./internal/spig/ ./internal/intset/
 sh scripts/cover.sh
