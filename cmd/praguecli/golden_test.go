@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"regexp"
 	"testing"
+	"time"
 
 	"prague/internal/trace"
 
@@ -110,6 +111,60 @@ func TestMetricsGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	checkGolden(t, "metrics.golden", buf.Bytes())
+}
+
+// TestSLOGolden locks the shape of the `slo` command: the rolling-window
+// tables, target/burn lines, rate line, and knob readouts, with all timings
+// normalized. A dedicated service pins the worker count so the knob values
+// are machine-independent.
+func TestSLOGolden(t *testing.T) {
+	db, err := prague.GenerateMolecules(40, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := prague.BuildIndexes(db, prague.IndexOptions{Alpha: 0.1, MaxFragmentSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := prague.NewService(db, ix,
+		prague.WithSigma(2),
+		prague.WithMetrics(prague.NewMetrics()),
+		prague.WithTracing(true),
+		prague.WithVerifyWorkers(2),
+		prague.WithMaxInFlight(8),
+		prague.WithSLO(time.Second, 0.5),
+		prague.WithSLOWindow(time.Minute),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	ctx := context.Background()
+	ss, err := svc.Create(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := ss.AddNode("C")
+	b, _ := ss.AddNode("C")
+	c, _ := ss.AddNode("C")
+	for _, pair := range [][2]int{{a, b}, {b, c}, {c, a}} {
+		if _, err := ss.AddEdge(ctx, pair[0], pair[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ss.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	renderSLO(&buf, svc.SLOReport())
+	checkGolden(t, "slo.golden", buf.Bytes())
+
+	// The disabled path renders a pointer at the flags, not an empty report.
+	buf.Reset()
+	renderSLO(&buf, prague.SLOReport{})
+	if !bytes.Contains(buf.Bytes(), []byte("off")) {
+		t.Fatalf("disabled SLO render = %q, want an 'off' notice", buf.String())
+	}
 }
 
 // TestTraceGolden locks the shape of the `trace` command: the SRT breakdown

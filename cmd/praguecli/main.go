@@ -28,11 +28,17 @@
 //	                   per-phase latency breakdown fed by trace spans
 //	trace              print the SRT breakdown of the last run and the
 //	                   slowest recorded actions (the slow journal)
+//	slo                print the rolling-window SLO report: per-phase and
+//	                   per-stage latency windows, shed/admit rates, burn
+//	                   rates, and controller knob values
 //	quit
 //
 // Tracing is on by default (disable with -trace=false); -slow sets the
-// slow-journal admission threshold, and -ops serves /healthz, /metrics,
-// /trace/slow, and /debug/pprof on the given address.
+// slow-journal admission threshold, and -ops serves /healthz, /metrics
+// (JSON, or Prometheus text with ?format=prom), /slo, /trace/slow, and
+// /debug/pprof on the given address. -slo declares a p99 SRT target and
+// turns the rolling-window SLO telemetry on; -adaptive additionally lets
+// the telemetry-driven controllers move runtime knobs.
 package main
 
 import (
@@ -65,6 +71,8 @@ func main() {
 		slow     = flag.Duration("slow", 0, "slow-journal admission threshold (0 journals every traced action)")
 		opsAddr  = flag.String("ops", "", "serve the ops/debug HTTP surface on this address (e.g. 127.0.0.1:6060)")
 		shards   = flag.Int("shards", 1, "hash-partition the database and indexes into this many shards (1 = monolithic)")
+		sloP99   = flag.Duration("slo", 0, "declare a p99 SRT target and enable rolling-window SLO telemetry (the 'slo' command and /slo)")
+		adaptive = flag.Bool("adaptive", false, "let telemetry-driven controllers move runtime knobs (implies SLO telemetry)")
 	)
 	flag.Parse()
 
@@ -108,6 +116,12 @@ func main() {
 		opts = append(opts, prague.WithShards(*shards))
 		fmt.Printf("store: %d shards\n", *shards)
 	}
+	if *sloP99 > 0 {
+		opts = append(opts, prague.WithSLO(*sloP99, 0))
+	}
+	if *adaptive {
+		opts = append(opts, prague.WithAdaptive(true))
+	}
 	svc, err := prague.NewService(db, idx, opts...)
 	if err != nil {
 		fail(err)
@@ -133,7 +147,7 @@ func main() {
 		fields := strings.Fields(line)
 		switch fields[0] {
 		case "help":
-			fmt.Println("commands: node <label> | edge <u> <v> [lbl] | sim | suggest | delete <step> | status | run | explain <id> | metrics | trace | quit")
+			fmt.Println("commands: node <label> | edge <u> <v> [lbl] | sim | suggest | delete <step> | status | run | explain <id> | metrics | trace | slo | quit")
 		case "node":
 			if len(fields) != 2 {
 				fmt.Println("usage: node <label>")
@@ -265,6 +279,8 @@ func main() {
 				continue
 			}
 			renderTrace(os.Stdout, rep, svc.SlowSpans())
+		case "slo":
+			renderSLO(os.Stdout, svc.SLOReport())
 		case "quit", "exit":
 			return
 		default:

@@ -1,0 +1,76 @@
+package candcache
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestSetBudgetShrinkEvicts(t *testing.T) {
+	c := New(numShards*10_000, nil)
+	for i := 0; i < 64; i++ {
+		c.Put(fmt.Sprintf("key-%02d", i), []int{i, i + 1, i + 2})
+	}
+	if c.Len() != 64 {
+		t.Fatalf("setup: %d entries resident, want all 64", c.Len())
+	}
+	before := c.SizeBytes()
+
+	// Shrink to ~2 small entries per shard: every shard over its new slice
+	// must evict immediately, not lazily on the next Put.
+	c.SetBudget(numShards * 300)
+	if got := c.Budget(); got != numShards*300 {
+		t.Fatalf("Budget = %d, want %d", got, numShards*300)
+	}
+	if c.Len() >= 64 || c.SizeBytes() >= before {
+		t.Fatalf("shrink evicted nothing: %d entries, %d bytes", c.Len(), c.SizeBytes())
+	}
+	if c.Stats().Evictions == 0 {
+		t.Fatal("eviction counter stayed zero after budget shrink")
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		if sh.bytes > 300 && sh.lru.Len() > 1 {
+			t.Fatalf("shard %d over new budget: %d bytes, %d entries", i, sh.bytes, sh.lru.Len())
+		}
+		sh.mu.Unlock()
+	}
+}
+
+func TestSetBudgetGrowAdmitsMore(t *testing.T) {
+	c := New(numShards*300, nil)
+	for i := 0; i < 64; i++ {
+		c.Put(fmt.Sprintf("a-%02d", i), []int{i, i + 1, i + 2})
+	}
+	small := c.Len()
+	if small >= 64 {
+		t.Fatalf("setup: tight budget kept all %d entries", small)
+	}
+
+	c.SetBudget(numShards * 10_000)
+	for i := 0; i < 64; i++ {
+		c.Put(fmt.Sprintf("b-%02d", i), []int{i, i + 1, i + 2})
+	}
+	if got := c.Len(); got <= small {
+		t.Fatalf("after grow Len = %d, want more than %d", got, small)
+	}
+}
+
+func TestSetBudgetClampAndNil(t *testing.T) {
+	var nilC *Cache
+	nilC.SetBudget(1 << 20) // must not panic
+	if nilC.Budget() != 0 {
+		t.Fatalf("nil Budget = %d", nilC.Budget())
+	}
+
+	c := New(1<<20, nil)
+	c.SetBudget(-5)
+	// Clamped to the 1-byte-per-shard floor, never disabled.
+	if got := c.Budget(); got != numShards {
+		t.Fatalf("clamped Budget = %d, want %d", got, numShards)
+	}
+	c.Put("k", []int{1, 2, 3}) // oversized for the floor budget: dropped, no panic
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("entry admitted over a floor budget")
+	}
+}

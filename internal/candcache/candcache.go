@@ -29,6 +29,7 @@ import (
 	"context"
 	"hash/maphash"
 	"sync"
+	"sync/atomic"
 
 	"prague/internal/faultinject"
 	"prague/internal/intset"
@@ -68,7 +69,7 @@ const entryOverhead = 96
 // is valid and behaves as an always-miss cache that never deduplicates.
 type Cache struct {
 	shards      [numShards]shard
-	shardBudget int64
+	shardBudget atomic.Int64 // per-shard byte budget; adjustable via SetBudget
 	seed        maphash.Seed
 
 	hits      *metrics.Counter
@@ -116,23 +117,54 @@ func New(budget int64, reg *metrics.Registry) *Cache {
 		return reg.Counter(name)
 	}
 	c := &Cache{
-		shardBudget: budget / numShards,
-		seed:        maphash.MakeSeed(),
-		hits:        counter(metrics.CounterCandHits),
-		misses:      counter(metrics.CounterCandMisses),
-		coalesced:   counter(metrics.CounterCandCoalesced),
-		evictions:   counter(metrics.CounterCandEvictions),
-		entries:     counter(metrics.CounterCandEntries),
-		bytes:       counter(metrics.CounterCandBytes),
+		seed:      maphash.MakeSeed(),
+		hits:      counter(metrics.CounterCandHits),
+		misses:    counter(metrics.CounterCandMisses),
+		coalesced: counter(metrics.CounterCandCoalesced),
+		evictions: counter(metrics.CounterCandEvictions),
+		entries:   counter(metrics.CounterCandEntries),
+		bytes:     counter(metrics.CounterCandBytes),
 	}
-	if c.shardBudget < 1 {
-		c.shardBudget = 1
-	}
+	c.shardBudget.Store(perShardBudget(budget))
 	for i := range c.shards {
 		c.shards[i].byKey = map[string]*entry{}
 		c.shards[i].flights = map[string]*flight{}
 	}
 	return c
+}
+
+func perShardBudget(total int64) int64 {
+	per := total / numShards
+	if per < 1 {
+		per = 1
+	}
+	return per
+}
+
+// SetBudget changes the cache's total byte budget at runtime, re-splitting it
+// evenly across shards and immediately evicting LRU entries from any shard
+// now over its slice. This is the knob the adaptive runtime's cache
+// controller turns from hit-rate telemetry. Nil-safe no-op; a budget ≤ 0 is
+// clamped to the minimum (the cache cannot be disabled once created).
+func (c *Cache) SetBudget(total int64) {
+	if c == nil {
+		return
+	}
+	c.shardBudget.Store(perShardBudget(total))
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		c.evictLocked(sh)
+		sh.mu.Unlock()
+	}
+}
+
+// Budget returns the cache's current total byte budget.
+func (c *Cache) Budget() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.shardBudget.Load() * numShards
 }
 
 func (c *Cache) shard(key string) *shard {
@@ -255,7 +287,7 @@ func (c *Cache) Do(ctx context.Context, key string, compute func(ctx context.Con
 // putLocked inserts (or refreshes) an entry; sh.mu is held.
 func (c *Cache) putLocked(sh *shard, key string, ids []int) {
 	size := int64(len(key)) + 8*int64(len(ids)) + entryOverhead
-	if size > c.shardBudget {
+	if size > c.shardBudget.Load() {
 		return
 	}
 	if old, ok := sh.byKey[key]; ok {
@@ -270,7 +302,13 @@ func (c *Cache) putLocked(sh *shard, key string, ids []int) {
 	sh.bytes += size
 	c.entries.Inc()
 	c.bytes.Add(size)
-	for sh.bytes > c.shardBudget && sh.lru.Len() > 1 {
+	c.evictLocked(sh)
+}
+
+// evictLocked drops LRU entries until the shard fits its budget (always
+// keeping at least one entry); sh.mu is held.
+func (c *Cache) evictLocked(sh *shard) {
+	for sh.bytes > c.shardBudget.Load() && sh.lru.Len() > 1 {
 		back := sh.lru.Back()
 		victim := back.Value.(*entry)
 		sh.lru.Remove(back)

@@ -61,26 +61,40 @@ type MutationTotals struct {
 // epoch up (with a short wait — a Run can pin a fresh epoch before the
 // mutator finishes recording it).
 type epochHistory struct {
-	mu  sync.Mutex
-	dbs map[uint64][]*graph.Graph
+	mu   sync.Mutex
+	cond *sync.Cond // signals each record; waitGet blocks on it, no polling
+	dbs  map[uint64][]*graph.Graph
 }
 
 func (h *epochHistory) record(epoch uint64, db []*graph.Graph) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.dbs[epoch] = db
+	if h.cond != nil {
+		h.cond.Broadcast()
+	}
 }
 
 func (h *epochHistory) waitGet(epoch uint64) ([]*graph.Graph, bool) {
-	deadline := time.Now().Add(2 * time.Second)
-	for {
+	// Bounded by a timer goroutine rather than a sleep-poll loop: the waiter
+	// wakes the instant the mutator records the epoch.
+	timeout := time.AfterFunc(2*time.Second, func() {
 		h.mu.Lock()
-		db, ok := h.dbs[epoch]
+		h.cond.Broadcast()
 		h.mu.Unlock()
-		if ok || time.Now().After(deadline) {
+	})
+	defer timeout.Stop()
+	deadline := time.Now().Add(2 * time.Second)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for {
+		if db, ok := h.dbs[epoch]; ok {
 			return db, ok
 		}
-		time.Sleep(100 * time.Microsecond)
+		if time.Now().After(deadline) {
+			return nil, false
+		}
+		h.cond.Wait()
 	}
 }
 
@@ -165,6 +179,7 @@ func runMutationSchedule(t *testing.T, cfg MutationConfig, fx *Fixture, i int) M
 	defer svc.Close()
 
 	hist := &epochHistory{dbs: map[uint64][]*graph.Graph{}}
+	hist.cond = sync.NewCond(&hist.mu)
 	hist.record(0, liveGraphs(st))
 
 	var tot MutationTotals

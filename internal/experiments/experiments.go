@@ -96,7 +96,7 @@ func Names() []string {
 	return []string{
 		"table2", "fig9a", "fig9be", "fig9fi", "fig9j",
 		"table3", "table4", "fig10a", "fig10be", "table5",
-		"latency", "candcache", "trace", "chaos", "shard", "mutate", "filter",
+		"latency", "candcache", "trace", "chaos", "shard", "mutate", "filter", "fleet",
 		"ablation-sequence", "ablation-freever", "ablation-dif", "ablation-beta",
 	}
 }
@@ -138,6 +138,8 @@ func (s *Suite) Run(name string) error {
 		return s.Mutate()
 	case "filter":
 		return s.Filter()
+	case "fleet":
+		return s.Fleet()
 	case "ablation-sequence":
 		return s.AblationSequence()
 	case "ablation-freever":

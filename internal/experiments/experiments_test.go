@@ -25,6 +25,7 @@ func TestSuiteSmoke(t *testing.T) {
 		"Figure 9(j)", "Table III", "Table IV", "Figure 10(a)",
 		"Figures 10(b)-(e)", "Table V", "Latency budget",
 		"Chaos: overload + worker panics",
+		"Fleet: closed-loop load, static vs adaptive runtime",
 		"Online mutation: throughput and Run SRT under ingest",
 		"sequence invariance", "verification-free", "DIF pruning", "β sensitivity",
 	}
@@ -50,7 +51,7 @@ func TestNamesStable(t *testing.T) {
 	// RunAll (exercised by TestSuiteSmoke) iterates Names(), so every name
 	// is known to dispatch; here we only pin the published list.
 	names := Names()
-	if len(names) != 21 {
+	if len(names) != 22 {
 		t.Errorf("experiment list changed: %v", names)
 	}
 	seen := map[string]bool{}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"time"
+
+	"prague/internal/fleetsim"
+	"prague/internal/metrics"
+	"prague/internal/service"
+	"prague/internal/workload"
+)
+
+// fleetInFlight is the deliberately tight static admission bound both
+// configurations start from; only the adaptive one may grow it.
+const fleetInFlight = 3
+
+// Fleet replays the closed-loop fleet simulator — zipf-popular mixed
+// containment + similarity traffic with interleaved store mutations —
+// against a statically configured service and an adaptive one (same
+// starting knobs plus WithSLO/WithAdaptive), sweeping the number of
+// concurrent sessions. The report is the table behind BENCH_fleet.json:
+// p50/p99 SRT and shed rate per session count, static vs adaptive, plus how
+// often the adaptive controllers moved a knob.
+func (s *Suite) Fleet() error {
+	if err := s.ensureAIDSQueries(); err != nil {
+		return err
+	}
+	if err := s.ensureAIDSContainmentQueries(); err != nil {
+		return err
+	}
+	const queriesPer = 40
+	sessionCounts := []int{4, 8, 16}
+
+	s.header("Fleet: closed-loop load, static vs adaptive runtime")
+	s.printf("zipf query mix over %d queries, %d queries/worker, mutation every 10th, static MaxInFlight %d\n",
+		len(s.fleetQueries()), queriesPer, fleetInFlight)
+	s.printf("  %-10s %12s %12s %10s %12s %12s %10s %8s\n",
+		"sessions", "st p50(ms)", "st p99(ms)", "st shed", "ad p50(ms)", "ad p99(ms)", "ad shed", "adjusts")
+
+	for _, n := range sessionCounts {
+		st, _, err := s.fleetPhase(n, queriesPer, false)
+		if err != nil {
+			return err
+		}
+		ad, adjusts, err := s.fleetPhase(n, queriesPer, true)
+		if err != nil {
+			return err
+		}
+		s.printf("  %-10d %12.2f %12.2f %10.3f %12.2f %12.2f %10.3f %8d\n",
+			n, ms(st.P50), ms(st.P99), st.ShedRate(), ms(ad.P50), ms(ad.P99), ad.ShedRate(), adjusts)
+	}
+	return nil
+}
+
+// fleetPhase runs one fleet round against a fresh service, returning the
+// result and — for the adaptive phase — the number of knob adjustments.
+func (s *Suite) fleetPhase(sessions, queriesPer int, adaptive bool) (fleetsim.Result, int64, error) {
+	reg := metrics.NewRegistry()
+	opts := []service.Option{
+		service.WithSigma(s.cfg.Sigma),
+		service.WithMetrics(reg),
+		service.WithSessionTTL(0),
+		service.WithVerifyWorkers(2),
+		service.WithMaxInFlight(fleetInFlight),
+	}
+	if adaptive {
+		opts = append(opts,
+			service.WithSLO(time.Second, 0.02),
+			service.WithSLOWindow(100*time.Millisecond),
+			service.WithAdaptive(true),
+			service.WithAdaptInterval(10*time.Millisecond),
+		)
+	}
+	svc, err := service.New(s.aidsDB, s.aidsIdx, opts...)
+	if err != nil {
+		return fleetsim.Result{}, 0, err
+	}
+	defer svc.Close()
+
+	res, err := fleetsim.Run(svc, s.aidsDB, s.fleetQueries(), fleetsim.Config{
+		Sessions:         sessions,
+		QueriesPerWorker: queriesPer,
+		Seed:             s.cfg.Seed + int64(sessions),
+		MutateEvery:      10,
+	})
+	if err != nil {
+		return fleetsim.Result{}, 0, err
+	}
+	return res, reg.Snapshot().Counters[metrics.CounterAdaptAdjust], nil
+}
+
+// fleetQueries is the mixed containment + similarity set the fleet replays
+// (containment first, so it takes the zipf head).
+func (s *Suite) fleetQueries() []workload.Query {
+	return append([]workload.Query{s.aidsCQs[0]}, s.aidsQueries...)
+}

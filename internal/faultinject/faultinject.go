@@ -98,6 +98,7 @@ type Injector struct {
 	rules    [numSites]atomic.Pointer[Rule]
 	hits     [numSites]atomic.Int64
 	fired    [numSites]atomic.Int64
+	notify   [numSites]atomic.Pointer[chan struct{}]
 }
 
 // New returns an empty injector (no rules armed).
@@ -143,6 +144,27 @@ func (in *Injector) Fired(site Site) int64 {
 	return in.fired[site].Load()
 }
 
+// NotifyFired returns a channel that receives (capacity 1, coalescing) each
+// time the site's rule injects a fault. Tests block on it instead of polling
+// Fired in a sleep loop — the notification arrives the instant the fault
+// fires, before any injected latency elapses. The same channel is returned
+// on every call for a given site. Nil-safe (returns nil, which blocks
+// forever in a select — pair it with a deadline).
+func (in *Injector) NotifyFired(site Site) <-chan struct{} {
+	if in == nil || int(site) >= int(numSites) {
+		return nil
+	}
+	for {
+		if ch := in.notify[site].Load(); ch != nil {
+			return *ch
+		}
+		ch := make(chan struct{}, 1)
+		if in.notify[site].CompareAndSwap(nil, &ch) {
+			return ch
+		}
+	}
+}
+
 // Hit reports that execution reached the site and applies the armed rule:
 // it may sleep, panic, or return an error wrapping ErrInjected. A nil
 // injector, an unarmed site, and a non-firing hit all return nil. Hits are
@@ -157,6 +179,12 @@ func (in *Injector) Hit(ctx context.Context, site Site) error {
 		return nil
 	}
 	in.fired[site].Add(1)
+	if ch := in.notify[site].Load(); ch != nil {
+		select {
+		case *ch <- struct{}{}:
+		default:
+		}
+	}
 	if rp.Latency > 0 {
 		t := time.NewTimer(rp.Latency)
 		select {

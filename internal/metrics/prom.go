@@ -1,0 +1,129 @@
+// Prometheus text exposition (format version 0.0.4) for a Snapshot — the
+// thin adapter the package doc promised. Zero dependencies: the format is
+// line-oriented text. Counters are exposed as gauges (several of ours are
+// level gauges that can decrease, e.g. sessions_active, and Prometheus
+// counters must be monotone); histograms are exposed as classic Prometheus
+// histograms with cumulative le buckets in seconds.
+
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// PromContentType is the Content-Type of the text exposition format.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promNamePrefix namespaces every exported series.
+const promNamePrefix = "prague_"
+
+// promName sanitizes a metric name into the Prometheus charset
+// [a-zA-Z_:][a-zA-Z0-9_:]*. Our canonical names are already snake_case;
+// this guards dynamically derived names (phase_* histograms).
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString(promNamePrefix)
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteRune('_')
+		}
+	}
+	return b.String()
+}
+
+// promBucketBound parses a snapshot bucket label ("100µs", "1s", "+inf")
+// back into an upper bound in seconds.
+func promBucketBound(label string) (float64, error) {
+	if label == "+inf" {
+		return math.Inf(1), nil
+	}
+	d, err := time.ParseDuration(label)
+	if err != nil {
+		return 0, err
+	}
+	return d.Seconds(), nil
+}
+
+func promFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format. Series are emitted in sorted name order so the output is
+// deterministic for a given snapshot.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, s.Counters[name]); err != nil {
+			return fmt.Errorf("metrics: write prometheus: %w", err)
+		}
+	}
+
+	hnames := make([]string, 0, len(s.Histograms))
+	for name := range s.Histograms {
+		hnames = append(hnames, name)
+	}
+	sort.Strings(hnames)
+	for _, name := range hnames {
+		h := s.Histograms[name]
+		pn := promName(name) + "_seconds"
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+			return fmt.Errorf("metrics: write prometheus: %w", err)
+		}
+		// Cumulative le-ordered buckets. Snapshot buckets omit empty ones;
+		// parse the labels back to bounds, sort, and accumulate.
+		type bkt struct {
+			le float64
+			n  int64
+		}
+		bkts := make([]bkt, 0, len(h.Buckets))
+		for label, n := range h.Buckets {
+			le, err := promBucketBound(label)
+			if err != nil {
+				return fmt.Errorf("metrics: write prometheus: bucket %q: %w", label, err)
+			}
+			bkts = append(bkts, bkt{le: le, n: n})
+		}
+		sort.Slice(bkts, func(i, j int) bool { return bkts[i].le < bkts[j].le })
+		var cum int64
+		hasInf := false
+		for _, b := range bkts {
+			cum += b.n
+			if math.IsInf(b.le, 1) {
+				hasInf = true
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, promFloat(b.le), cum); err != nil {
+				return fmt.Errorf("metrics: write prometheus: %w", err)
+			}
+		}
+		if !hasInf {
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count); err != nil {
+				return fmt.Errorf("metrics: write prometheus: %w", err)
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n",
+			pn, promFloat(h.SumMS/1e3), pn, h.Count); err != nil {
+			return fmt.Errorf("metrics: write prometheus: %w", err)
+		}
+	}
+	return nil
+}

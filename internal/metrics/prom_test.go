@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPromNameSanitize(t *testing.T) {
+	cases := map[string]string{
+		"actions_total":     "prague_actions_total",
+		"phase_spig-build":  "prague_phase_spig_build",
+		"weird.chars here!": "prague_weird_chars_here_",
+		"phase_µbuild":      "prague_phase__build",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPromBucketBound(t *testing.T) {
+	if v, err := promBucketBound("+inf"); err != nil || !math.IsInf(v, 1) {
+		t.Fatalf("+inf bound = %v, %v", v, err)
+	}
+	if v, err := promBucketBound("100µs"); err != nil || v != 0.0001 {
+		t.Fatalf("100µs bound = %v, %v", v, err)
+	}
+	if v, err := promBucketBound("10s"); err != nil || v != 10 {
+		t.Fatalf("10s bound = %v, %v", v, err)
+	}
+	if _, err := promBucketBound("nonsense"); err == nil {
+		t.Fatal("garbage label parsed")
+	}
+}
+
+func TestWritePrometheusExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("actions_total").Add(7)
+	reg.Counter("sessions_active").Add(3)
+	h := reg.Histogram("action")
+	h.Observe(50 * time.Microsecond) // 100µs bucket
+	h.Observe(50 * time.Microsecond)
+	h.Observe(5 * time.Millisecond) // 10ms bucket
+	h.Observe(time.Minute)          // overflow (+inf) bucket
+
+	var b strings.Builder
+	if err := reg.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE prague_actions_total gauge\nprague_actions_total 7\n",
+		"# TYPE prague_sessions_active gauge\nprague_sessions_active 3\n",
+		"# TYPE prague_action_seconds histogram\n",
+		// Buckets must be cumulative in le order and expressed in seconds.
+		`prague_action_seconds_bucket{le="0.0001"} 2`,
+		`prague_action_seconds_bucket{le="0.01"} 3`,
+		`prague_action_seconds_bucket{le="+Inf"} 4`,
+		"prague_action_seconds_count 4\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n---\n%s", want, out)
+		}
+	}
+	// _sum is in seconds: 2*50µs + 5ms + 60s ≈ 60.0051s.
+	if !strings.Contains(out, "prague_action_seconds_sum 60.0051") {
+		t.Errorf("sum not in seconds:\n%s", out)
+	}
+	// Counters come before histograms, sorted; spot-check ordering.
+	if strings.Index(out, "prague_actions_total") > strings.Index(out, "prague_sessions_active") {
+		t.Error("counters not in sorted order")
+	}
+	if strings.Index(out, "prague_sessions_active") > strings.Index(out, "prague_action_seconds") {
+		t.Error("histograms emitted before counters")
+	}
+}
+
+func TestWritePrometheusCumulativeWithInfOnly(t *testing.T) {
+	// A histogram whose only populated bucket is the overflow: the +Inf
+	// bucket must not be synthesized twice.
+	reg := NewRegistry()
+	reg.Histogram("slow").Observe(time.Hour)
+	var b strings.Builder
+	if err := reg.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(b.String(), `le="+Inf"`); got != 1 {
+		t.Fatalf("+Inf bucket emitted %d times:\n%s", got, b.String())
+	}
+}
+
+func TestWritePrometheusEmptySnapshot(t *testing.T) {
+	var b strings.Builder
+	if err := NewRegistry().Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("empty registry produced output:\n%s", b.String())
+	}
+}

@@ -1,10 +1,11 @@
 // Package ops is the opt-in live operations/debug surface of a PRAGUE
-// service: a small HTTP server exposing liveness (/healthz), a JSON
-// snapshot of the metrics registry (/metrics), the tracing subsystem's
-// slow-action journal (/trace/slow), and the standard net/http/pprof
-// profiling endpoints (/debug/pprof/...). It binds only when a service is
-// constructed with the ops-server option; nothing in the hot path depends
-// on it.
+// service: a small HTTP server exposing liveness (/healthz), the metrics
+// registry (/metrics, JSON by default or Prometheus text exposition via
+// ?format=prom / an Accept: text/plain header), the rolling-window SLO
+// report (/slo), the tracing subsystem's slow-action journal (/trace/slow),
+// and the standard net/http/pprof profiling endpoints (/debug/pprof/...).
+// It binds only when a service is constructed with the ops-server option;
+// nothing in the hot path depends on it.
 package ops
 
 import (
@@ -15,9 +16,11 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"strings"
 	"time"
 
 	"prague/internal/metrics"
+	"prague/internal/slo"
 	"prague/internal/trace"
 )
 
@@ -27,11 +30,27 @@ type Server struct {
 	ln  net.Listener
 }
 
+// wantsProm decides /metrics content negotiation: the explicit
+// ?format=prom|json query wins; otherwise an Accept header naming
+// text/plain (the Prometheus scrape default) without application/json gets
+// the text exposition; JSON remains the default.
+func wantsProm(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prom", "prometheus":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") && !strings.Contains(accept, "application/json")
+}
+
 // New binds addr (host:port; ":0" picks a free port) and starts serving.
 // reg provides /metrics; tr provides /trace/slow (nil serves an empty
 // journal); healthy gates /healthz (nil means always healthy, non-nil
-// errors render 503).
-func New(addr string, reg *metrics.Registry, tr *trace.Tracer, healthy func() error) (*Server, error) {
+// errors render 503); sloReport provides /slo (nil serves a disabled
+// report).
+func New(addr string, reg *metrics.Registry, tr *trace.Tracer, healthy func() error, sloReport func() slo.Report) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		if healthy != nil {
@@ -44,8 +63,28 @@ func New(addr string, reg *metrics.Registry, tr *trace.Tracer, healthy func() er
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		snap := reg.Snapshot()
+		if wantsProm(r) {
+			w.Header().Set("Content-Type", metrics.PromContentType)
+			if err := snap.WritePrometheus(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
-		if err := reg.Snapshot().WriteJSON(w); err != nil {
+		if err := snap.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/slo", func(w http.ResponseWriter, r *http.Request) {
+		var rep slo.Report
+		if sloReport != nil {
+			rep = sloReport()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})

@@ -39,7 +39,7 @@ func TestOpsEndpoints(t *testing.T) {
 	sp.End()
 
 	var healthErr error
-	s, err := New("127.0.0.1:0", reg, tr, func() error { return healthErr })
+	s, err := New("127.0.0.1:0", reg, tr, func() error { return healthErr }, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +96,7 @@ func TestOpsEndpoints(t *testing.T) {
 }
 
 func TestOpsEmptyJournalAndNilSafety(t *testing.T) {
-	s, err := New("127.0.0.1:0", metrics.NewRegistry(), nil, nil)
+	s, err := New("127.0.0.1:0", metrics.NewRegistry(), nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,18 +122,18 @@ func TestOpsEmptyJournalAndNilSafety(t *testing.T) {
 }
 
 func TestOpsListenFailure(t *testing.T) {
-	s, err := New("127.0.0.1:0", metrics.NewRegistry(), nil, nil)
+	s, err := New("127.0.0.1:0", metrics.NewRegistry(), nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer s.Close()
-	if _, err := New(s.Addr(), metrics.NewRegistry(), nil, nil); err == nil {
+	if _, err := New(s.Addr(), metrics.NewRegistry(), nil, nil, nil); err == nil {
 		t.Fatal("binding an in-use address must fail")
 	}
 }
 
 func TestOpsCloseStopsServing(t *testing.T) {
-	s, err := New("127.0.0.1:0", metrics.NewRegistry(), nil, nil)
+	s, err := New("127.0.0.1:0", metrics.NewRegistry(), nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

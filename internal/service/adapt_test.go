@@ -1,0 +1,358 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"prague/internal/clock"
+	"prague/internal/metrics"
+	"prague/internal/slo"
+	"prague/internal/trace"
+)
+
+// newAdaptFixture builds a service with SLO telemetry on a fake clock. The
+// adapt interval is set far beyond anything the tests advance, so the
+// background loop never races the manual adaptTick calls below.
+func newAdaptFixture(t *testing.T, adaptive bool) (*Service, *clock.Fake) {
+	t.Helper()
+	db, idx := smallFixture(t)
+	fake := clock.NewFake(time.Unix(1700000000, 0))
+	svc, err := New(db, idx,
+		WithSessionTTL(0),
+		WithMetrics(metrics.NewRegistry()),
+		WithClock(fake),
+		WithVerifyWorkers(2),
+		WithMaxInFlight(4),
+		WithTracing(true),
+		WithSLO(10*time.Millisecond, 0.5),
+		WithSLOWindow(800*time.Millisecond),
+		WithAdaptive(adaptive),
+		WithAdaptInterval(time.Hour),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	return svc, fake
+}
+
+// feed injects one synthetic telemetry round: n SRT observations of dur plus
+// admitted/shed rate events.
+func feed(svc *Service, n int, dur time.Duration, admitted, shed int64) {
+	for i := 0; i < n; i++ {
+		svc.col.ObservePhase(slo.PhaseSRT, dur)
+	}
+	svc.col.AddRate(slo.RateAdmitted, admitted)
+	svc.col.AddRate(slo.RateShed, shed)
+}
+
+// TestAdaptiveControllerDeterminism drives the same synthetic load twice
+// through two identically configured services and requires the controllers
+// to walk the same knob trajectory: the whole control loop is a pure
+// function of windowed telemetry under a fake clock.
+func TestAdaptiveControllerDeterminism(t *testing.T) {
+	run := func() []string {
+		svc, fake := newAdaptFixture(t, true)
+		var traj []string
+		step := func(n int, dur time.Duration, admitted, shed int64) {
+			feed(svc, n, dur, admitted, shed)
+			svc.adaptTick()
+			traj = append(traj, fmt.Sprintf("inflight=%d workers=%d cache=%d",
+				svc.MaxInFlight(), svc.pool.Workers(), svc.cache.Budget()))
+			fake.Advance(100 * time.Millisecond)
+		}
+		step(50, 2*time.Millisecond, 50, 5)    // headroom + shedding: admission grows
+		step(50, 2*time.Millisecond, 50, 5)    // grows again
+		step(300, 30*time.Millisecond, 300, 0) // p99 over target: backs off
+		step(0, 0, 0, 0)                       // thin signal: hold
+		return traj
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("trajectory lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trajectory diverged at step %d:\n%s\nvs\n%s", i, a[i], b[i])
+		}
+	}
+	t.Logf("trajectory: %v", a)
+}
+
+func TestAdaptiveMovesKnobsAndMeters(t *testing.T) {
+	svc, fake := newAdaptFixture(t, true)
+	if svc.MaxInFlight() != 4 {
+		t.Fatalf("initial MaxInFlight = %d", svc.MaxInFlight())
+	}
+	// adapt_* gauges exist (at the initial knob values) before any tick.
+	snap := svc.Snapshot().Counters
+	if snap[metrics.GaugeAdaptPrefix+"max_inflight"] != 4 {
+		t.Fatalf("initial adapt gauge = %d, want 4", snap[metrics.GaugeAdaptPrefix+"max_inflight"])
+	}
+
+	// Headroom plus shedding: the admission controller must grow the bound.
+	feed(svc, 50, 2*time.Millisecond, 50, 10)
+	svc.adaptTick()
+	grown := svc.MaxInFlight()
+	if grown <= 4 {
+		t.Fatalf("admission bound did not grow: %d", grown)
+	}
+
+	// Sustained overload: p99 far beyond target backs the bound off again.
+	fake.Advance(time.Second) // age the fast window out
+	feed(svc, 100, 50*time.Millisecond, 100, 0)
+	svc.adaptTick()
+	if got := svc.MaxInFlight(); got >= grown {
+		t.Fatalf("admission bound did not back off: %d (was %d)", got, grown)
+	}
+
+	snap = svc.Snapshot().Counters
+	if snap[metrics.CounterAdaptAdjust] < 2 {
+		t.Fatalf("adapt_adjustments_total = %d, want ≥ 2", snap[metrics.CounterAdaptAdjust])
+	}
+	if snap[metrics.GaugeAdaptPrefix+"max_inflight"] != int64(svc.MaxInFlight()) {
+		t.Fatalf("adapt gauge %d out of sync with knob %d",
+			snap[metrics.GaugeAdaptPrefix+"max_inflight"], svc.MaxInFlight())
+	}
+
+	// Every adjustment left an adapt span in the journal.
+	found := 0
+	for _, sp := range svc.SlowSpans() {
+		if sp.Kind == trace.KindAdapt.String() {
+			found++
+			if sp.Attrs["controller"] == "" || sp.Attrs["from"] == "" || sp.Attrs["to"] == "" {
+				t.Fatalf("adapt span missing attrs: %+v", sp.Attrs)
+			}
+		}
+	}
+	if int64(found) != snap[metrics.CounterAdaptAdjust] {
+		t.Fatalf("adapt spans = %d, adjustments = %d", found, snap[metrics.CounterAdaptAdjust])
+	}
+}
+
+func TestNonAdaptiveTelemetryHoldsKnobs(t *testing.T) {
+	svc, _ := newAdaptFixture(t, false)
+	feed(svc, 50, 2*time.Millisecond, 50, 25)
+	svc.adaptTick()
+	if got := svc.MaxInFlight(); got != 4 {
+		t.Fatalf("non-adaptive service moved MaxInFlight to %d", got)
+	}
+	if got := svc.Snapshot().Counters[metrics.CounterAdaptAdjust]; got != 0 {
+		t.Fatalf("non-adaptive service metered %d adjustments", got)
+	}
+	// The report is still live: knob readouts and windows populate.
+	rep := svc.SLOReport()
+	if !rep.Enabled {
+		t.Fatal("report disabled with SLO telemetry on")
+	}
+	if rep.Controllers["max_inflight"] != 4 {
+		t.Fatalf("report controllers = %v", rep.Controllers)
+	}
+	if d := rep.Phases[slo.PhaseSRT.String()]; d.Count != 50 {
+		t.Fatalf("report SRT window = %+v", d)
+	}
+	if rep.ShedRate != float64(25)/float64(75) {
+		t.Fatalf("report shed rate = %v", rep.ShedRate)
+	}
+}
+
+func TestSLOReportDisabledByDefault(t *testing.T) {
+	db, idx := smallFixture(t)
+	svc, err := New(db, idx, WithSessionTTL(0), WithMetrics(metrics.NewRegistry()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if rep := svc.SLOReport(); rep.Enabled {
+		t.Fatalf("SLO report enabled without any SLO option: %+v", rep)
+	}
+	if svc.col != nil || svc.slotrack != nil {
+		t.Fatal("SLO telemetry constructed without any SLO option")
+	}
+}
+
+// TestViolationAccounting drives a sustained breach through the service
+// tracker and checks the violation counters and journal spans.
+func TestViolationAccounting(t *testing.T) {
+	svc, fake := newAdaptFixture(t, false)
+	for tick := 0; tick < 3; tick++ {
+		feed(svc, 100, 50*time.Millisecond, 100, 0)
+		svc.adaptTick()
+		fake.Advance(100 * time.Millisecond)
+	}
+	rep := svc.SLOReport()
+	if !rep.Violating || rep.Violations != 1 {
+		t.Fatalf("sustained breach: %+v", rep)
+	}
+	if rep.ViolationSec <= 0 {
+		t.Fatalf("no violation time accumulated: %+v", rep)
+	}
+	if got := svc.Snapshot().Counters[metrics.CounterSLOViolations]; got != 1 {
+		t.Fatalf("slo_violations_total = %d", got)
+	}
+	found := false
+	for _, sp := range svc.SlowSpans() {
+		if sp.Kind == trace.KindSLOViolation.String() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no slo_violation span journaled")
+	}
+}
+
+// TestRunSpanFilterAndEpochAttrs checks the PR 7 follow-through: every run
+// span carries the engine's filter-chooser explanation and the store epoch
+// the run was pinned to.
+func TestRunSpanFilterAndEpochAttrs(t *testing.T) {
+	db, idx := smallFixture(t)
+	svc, err := New(db, idx, WithSessionTTL(0), WithMetrics(metrics.NewRegistry()), WithTracing(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ss := tracedSession(t, svc)
+	sp, err := ss.LastRunTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Attrs["filter"] == "" {
+		t.Fatalf("run span has no filter explanation: %+v", sp.Attrs)
+	}
+	if got := sp.Attrs["epoch"]; got != "0" {
+		t.Fatalf("run span epoch = %q, want \"0\"", got)
+	}
+
+	// After a mutation the next run pins the new epoch.
+	if _, err := svc.InsertGraph(context.Background(), db[0].Clone()); err != nil {
+		t.Fatal(err)
+	}
+	ss2 := tracedSession(t, svc)
+	sp2, err := ss2.LastRunTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := strconv.Atoi(sp2.Attrs["epoch"]); got != 1 {
+		t.Fatalf("post-mutation run span epoch = %q, want \"1\"", sp2.Attrs["epoch"])
+	}
+}
+
+// TestOpsEndpointsUnderLoad hammers every ops endpoint while sessions
+// formulate, run, and the store mutates — the -race proof that the
+// observability surface reads nothing unsynchronized from the serving path.
+func TestOpsEndpointsUnderLoad(t *testing.T) {
+	db, idx := smallFixture(t)
+	svc, err := New(db, idx,
+		WithSessionTTL(0),
+		WithMetrics(metrics.NewRegistry()),
+		WithTracing(true),
+		WithOpsServer("127.0.0.1:0"),
+		WithMaxInFlight(8),
+		WithSLO(time.Second, 0.9),
+		WithSLOWindow(100*time.Millisecond),
+		WithAdaptive(true),
+		WithAdaptInterval(10*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	base := "http://" + svc.OpsAddr()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Two session workers formulating and running; overloads are expected.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := formulateAndRun(context.Background(), svc, r); err != nil &&
+					!errors.Is(err, ErrOverloaded) {
+					t.Errorf("session worker: %v", err)
+					return
+				}
+			}
+		}(int64(w) + 1)
+	}
+
+	// One mutator inserting and deleting graphs.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ctx := context.Background()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			id, err := svc.InsertGraph(ctx, db[i%len(db)].Clone())
+			if err != nil {
+				if errors.Is(err, ErrOverloaded) {
+					continue
+				}
+				t.Errorf("mutator insert: %v", err)
+				return
+			}
+			if err := svc.DeleteGraph(ctx, id); err != nil && !errors.Is(err, ErrOverloaded) {
+				t.Errorf("mutator delete: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Four readers hammering the ops surface.
+	paths := []string{"/healthz", "/metrics", "/metrics?format=prom", "/slo", "/trace/slow"}
+	client := &http.Client{Timeout: 5 * time.Second}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				resp, err := client.Get(base + paths[(w+i)%len(paths)])
+				if err != nil {
+					t.Errorf("ops reader: %v", err)
+					return
+				}
+				if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+					t.Errorf("ops reader body: %v", err)
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("ops reader: %s = %d", paths[(w+i)%len(paths)], resp.StatusCode)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Stop the open-ended workers once every reader has finished its quota.
+	readersDone := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(readersDone)
+	}()
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	select {
+	case <-readersDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("load workers did not drain")
+	}
+}

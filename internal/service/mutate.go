@@ -12,23 +12,25 @@ import (
 
 	"prague/internal/graph"
 	"prague/internal/metrics"
+	"prague/internal/slo"
 )
 
 // admitGlobal reserves service-wide in-flight capacity for one action (an
 // evaluation or a mutation), returning the paired release. Non-blocking:
-// when the bound is full the action is shed with an *OverloadError.
+// when the bound is full the action is shed with an *OverloadError. The
+// bound is an atomic limit rather than a channel capacity so the adaptive
+// runtime can move it live; two concurrent admits racing the last slot may
+// transiently both shed (under-admission), never over-admit.
 func (s *Service) admitGlobal() (release func(), err error) {
-	if s.inflight == nil {
-		return func() {}, nil
-	}
-	select {
-	case s.inflight <- struct{}{}:
-		return func() { <-s.inflight }, nil
-	default:
+	n := s.inflightN.Add(1)
+	if limit := s.inflightLimit.Load(); limit > 0 && n > limit {
+		s.inflightN.Add(-1)
 		s.shed("global")
 		return nil, fmt.Errorf("service: %w",
 			&OverloadError{Scope: "global", RetryAfter: s.retryAfterHint()})
 	}
+	s.col.AddRate(slo.RateAdmitted, 1)
+	return func() { s.inflightN.Add(-1) }, nil
 }
 
 // InsertGraph adds a data graph to the store online: the graph is classified

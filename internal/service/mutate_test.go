@@ -102,8 +102,8 @@ func TestServiceMutationSharesAdmission(t *testing.T) {
 	defer svc.Close()
 
 	// Saturate the bound directly, as an admitted action would.
-	svc.inflight <- struct{}{}
-	defer func() { <-svc.inflight }()
+	svc.inflightN.Add(1)
+	defer svc.inflightN.Add(-1)
 
 	g := graph.New(0)
 	g.AddNode("C")

@@ -15,6 +15,7 @@ import (
 
 	"prague/internal/faultinject"
 	"prague/internal/metrics"
+	"prague/internal/slo"
 )
 
 // ErrOverloaded is the sentinel all admission rejections wrap; callers test
@@ -51,6 +52,7 @@ func (s *Service) retryAfterHint() time.Duration {
 // shed records one rejected action.
 func (s *Service) shed(scope string) {
 	s.reg.Counter(metrics.CounterOverloadShed).Inc()
+	s.col.AddRate(slo.RateShed, 1)
 	_ = scope
 }
 

@@ -19,6 +19,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -31,6 +32,7 @@ import (
 	"prague/internal/index"
 	"prague/internal/metrics"
 	"prague/internal/ops"
+	"prague/internal/slo"
 	"prague/internal/store"
 	"prague/internal/trace"
 	"prague/internal/workpool"
@@ -86,6 +88,13 @@ type Options struct {
 	Injector       *faultinject.Injector // deterministic fault injection (nil: none)
 
 	FilterMode core.FilterMode // verify-prefilter arm selection (default FilterAuto)
+
+	// SLO telemetry / adaptive runtime (see prague/internal/slo). The
+	// windowed collector turns on when any of these is set.
+	SLO           slo.Targets   // declared SLO targets (zero: none declared)
+	SLOWindow     time.Duration // rolling-window span (0: slo.DefaultWindow)
+	Adaptive      bool          // apply the telemetry-driven controllers
+	AdaptInterval time.Duration // tracker/controller tick (0: window/8)
 
 	janitorHook func(evicted int) // test observability for janitor sweeps
 }
@@ -192,6 +201,30 @@ func WithFilterChooser(m core.FilterMode) Option { return func(o *Options) { o.F
 // injector — the default — costs nothing on the hot path.
 func WithFaultInjection(in *faultinject.Injector) Option { return func(o *Options) { o.Injector = in } }
 
+// WithSLO declares the service-level objectives — a target p99 system
+// response time and a tolerated shed-rate fraction over the rolling window —
+// and turns on the windowed SLO telemetry (phase/stage histograms, rate
+// windows, /slo endpoint, burn rates, violation spans in the trace journal).
+// Zero values declare no target on that axis but still enable the windows.
+func WithSLO(p99SRT time.Duration, maxShedRate float64) Option {
+	return func(o *Options) { o.SLO = slo.Targets{P99SRT: p99SRT, MaxShedRate: maxShedRate} }
+}
+
+// WithSLOWindow sets the rolling-window span of the SLO telemetry (default
+// slo.DefaultWindow) and enables it even without declared targets.
+func WithSLOWindow(d time.Duration) Option { return func(o *Options) { o.SLOWindow = d } }
+
+// WithAdaptive turns on the telemetry-driven controllers: workpool size,
+// admission MaxInFlight, and candidate-cache byte budget are adjusted from
+// the rolling windows on every tracker tick, each change emitted as an
+// adapt trace span and adapt_* metric. Implies the SLO telemetry.
+func WithAdaptive(on bool) Option { return func(o *Options) { o.Adaptive = on } }
+
+// WithAdaptInterval overrides the tracker/controller tick interval (default
+// one eighth of the rolling window). Benchmarks and tests shorten it so the
+// controllers converge inside a bounded run.
+func WithAdaptInterval(d time.Duration) Option { return func(o *Options) { o.AdaptInterval = d } }
+
 // withJanitorHook registers a callback invoked after every janitor sweep
 // with the number of sessions it evicted (tests).
 func withJanitorHook(fn func(evicted int)) Option {
@@ -210,9 +243,18 @@ type Service struct {
 	tracer *trace.Tracer    // nil when tracing was never requested
 	ops    *ops.Server      // nil unless WithOpsServer
 
-	// inflight is the global admission semaphore (nil: unlimited). Acquire
-	// is non-blocking: a full channel sheds the action (overload.go).
-	inflight chan struct{}
+	// Global admission bound: inflightN counts actions in flight,
+	// inflightLimit is the adjustable cap (0: unlimited). Admission is
+	// non-blocking and lock-free (overload.go); the cap being an atomic —
+	// rather than a channel capacity — is what lets the adaptive runtime's
+	// admission controller move it while the service serves.
+	inflightN     atomic.Int64
+	inflightLimit atomic.Int64
+
+	// SLO telemetry / adaptive runtime (nil unless enabled via options).
+	col         *slo.Collector
+	slotrack    *slo.Tracker
+	controllers []*slo.Controller
 
 	mu       sync.Mutex
 	sessions map[string]*Session
@@ -221,6 +263,8 @@ type Service struct {
 
 	stopJanitor chan struct{}
 	janitorDone chan struct{}
+	stopAdapt   chan struct{}
+	adaptDone   chan struct{}
 }
 
 // NewFromStore builds a service directly over a graph store — the primary
@@ -296,6 +340,10 @@ func New(db []*graph.Graph, idx *index.Set, opts ...Option) (*Service, error) {
 			Registry:      reg,
 		})
 	}
+	if opt.MaxInFlight > 0 {
+		s.inflightLimit.Store(int64(opt.MaxInFlight))
+	}
+	s.initSLO() // before ops: /slo reads the tracker
 	if opt.OpsAddr != "" {
 		srv, err := ops.New(opt.OpsAddr, reg, s.tracer, func() error {
 			s.mu.Lock()
@@ -304,15 +352,12 @@ func New(db []*graph.Graph, idx *index.Set, opts ...Option) (*Service, error) {
 				return ErrServiceClosed
 			}
 			return nil
-		})
+		}, s.SLOReport)
 		if err != nil {
 			s.pool.Close()
 			return nil, fmt.Errorf("service: %w", err)
 		}
 		s.ops = srv
-	}
-	if opt.MaxInFlight > 0 {
-		s.inflight = make(chan struct{}, opt.MaxInFlight)
 	}
 	s.pool.OnBatch = func(n int) {
 		reg.Counter(metrics.CounterVerifyTasks).Add(int64(n))
@@ -362,6 +407,10 @@ func (s *Service) Close() {
 	if s.stopJanitor != nil {
 		close(s.stopJanitor)
 		<-s.janitorDone
+	}
+	if s.stopAdapt != nil {
+		close(s.stopAdapt)
+		<-s.adaptDone
 	}
 	s.pool.Close()
 	s.ops.Close() //nolint:errcheck // shutdown timeout only
@@ -731,6 +780,14 @@ func (ss *Session) RunDetailed(ctx context.Context) (core.RunOutcome, error) {
 	if err != nil {
 		sp.SetAttr("error", err.Error())
 	}
+	if sp != nil {
+		// Slow-journal self-explanation: which prefilter arm served this Run
+		// and which store epoch it was pinned to travel with the span tree,
+		// so a journaled slow Run carries its own "why" without a separate
+		// lookup against state that may have moved on.
+		sp.SetAttr("filter", ss.eng.FilterExplain())
+		sp.SetAttr("epoch", strconv.FormatUint(out.Epoch, 10))
+	}
 	sp.End()
 	if d := sp.Data(); d != nil {
 		ss.lastRun = d
@@ -739,8 +796,11 @@ func (ss *Session) RunDetailed(ctx context.Context) (core.RunOutcome, error) {
 	if err != nil {
 		return out, err
 	}
+	srt := ss.eng.Stats().RunTime
 	ss.svc.reg.Counter(metrics.CounterRuns).Inc()
-	ss.svc.reg.Histogram(metrics.HistSRT).Observe(ss.eng.Stats().RunTime)
+	ss.svc.reg.Histogram(metrics.HistSRT).Observe(srt)
+	ss.svc.col.ObservePhase(slo.PhaseSRT, srt)
+	ss.svc.col.ObserveStage(stageOf(out), srt)
 	return out, nil
 }
 
@@ -876,4 +936,5 @@ func (ss *Session) observeStep(out core.StepOutcome) {
 	reg.Counter(metrics.CounterStepsEvaluated).Inc()
 	reg.Histogram(metrics.HistSpigBuild).Observe(out.SpigTime)
 	reg.Histogram(metrics.HistStepEval).Observe(out.EvalTime)
+	ss.svc.col.ObservePhase(slo.PhaseSpigBuild, out.SpigTime)
 }

@@ -1,0 +1,157 @@
+// Feedback controllers: small, pure decision functions over the windowed
+// Report, applied to runtime knobs through Get/Set closures. The policies
+// are AIMD-flavored (multiplicative back-off when a target is violated,
+// additive/multiplicative growth when there is headroom and a reason to
+// grow) and deterministic: the same Report sequence produces the same knob
+// trajectory, which the service's controller tests pin under clock.Fake.
+//
+// Every applied adjustment is observable twice over: the knob's new value is
+// published as an adapt_<name> gauge, adapt_adjustments_total counts the
+// change, and a trace span of kind "adapt" (controller, from, to) lands in
+// the journal pipeline when tracing is on.
+
+package slo
+
+import (
+	"strconv"
+
+	"prague/internal/metrics"
+	"prague/internal/trace"
+)
+
+// Knob is one adjustable runtime parameter.
+type Knob struct {
+	// Name keys the adapt_<Name> gauge and trace attributes.
+	Name string
+	// Min and Max clamp every decision; a knob can never be driven outside
+	// its declared safe range.
+	Min, Max int64
+	// Get reads the current value; Set applies a new one. Both must be safe
+	// for concurrent use with the serving path (the knobs are atomics).
+	Get func() int64
+	Set func(int64)
+}
+
+// Policy maps (windowed report, current value) to the desired value. Pure:
+// no side effects, no clocks, no randomness.
+type Policy func(r Report, cur int64) int64
+
+// Controller binds a knob to a policy.
+type Controller struct {
+	Knob
+	Decide Policy
+}
+
+// Apply runs one decision cycle: read, decide, clamp, and — only when the
+// value changes — set, meter, and trace. Returns (from, to, changed).
+func (c *Controller) Apply(r Report, reg *metrics.Registry, tr *trace.Tracer) (int64, int64, bool) {
+	cur := c.Get()
+	next := c.Decide(r, cur)
+	if next < c.Min {
+		next = c.Min
+	}
+	if next > c.Max {
+		next = c.Max
+	}
+	if next == cur {
+		return cur, cur, false
+	}
+	c.Set(next)
+	if reg != nil {
+		reg.Counter(metrics.GaugeAdaptPrefix + c.Name).Set(next)
+		reg.Counter(metrics.CounterAdaptAdjust).Inc()
+	}
+	tr.RecordEvent(trace.KindAdapt, 0, map[string]string{
+		"controller": c.Name,
+		"from":       strconv.FormatInt(cur, 10),
+		"to":         strconv.FormatInt(next, 10),
+	}, nil)
+	return cur, next, true
+}
+
+// minSignal is the minimum windowed observation count a policy needs before
+// acting; below it the window is noise, not signal.
+const minSignal = 8
+
+// InFlightPolicy controls the admission MaxInFlight bound against the
+// declared targets: back off multiplicatively while the windowed p99 SRT
+// overshoots the target (admitting less is the only lever admission has on
+// latency), grow while there is latency headroom (p99 < 70% of target) but
+// demand is being shed — shedding with headroom is pure lost goodput.
+func InFlightPolicy(t Targets) Policy {
+	target := t.P99SRT.Microseconds()
+	return func(r Report, cur int64) int64 {
+		srt := r.SRT()
+		shed := r.Rates[RateShed.String()].Count
+		if target > 0 && srt.Count >= minSignal && srt.P99US > target {
+			return cur - max64(1, cur/4)
+		}
+		if shed > 0 && (target <= 0 || srt.Count == 0 || srt.P99US*10 <= target*7) {
+			return cur + max64(1, cur/2)
+		}
+		return cur
+	}
+}
+
+// WorkerPolicy controls the verification workpool size from windowed worker
+// utilization (a Tracker gauge source named utilSource, in [0,1]): grow
+// additively while the pool is saturated and latency is near or over
+// target; shrink while it idles. Saturation without latency pressure is
+// left alone — a busy pool meeting its SLO is just an efficient pool.
+func WorkerPolicy(t Targets, utilSource string) Policy {
+	target := t.P99SRT.Microseconds()
+	return func(r Report, cur int64) int64 {
+		util, ok := r.Sources[utilSource]
+		if !ok {
+			return cur
+		}
+		srt := r.SRT()
+		hot := target <= 0 || (srt.Count >= minSignal && srt.P99US*10 >= target*8)
+		if util >= 0.85 && hot {
+			return cur + 1
+		}
+		if util <= 0.25 && cur > 1 {
+			return cur - 1
+		}
+		return cur
+	}
+}
+
+// CacheSources names the Tracker sources the cache policy reads: windowed
+// hit/miss/eviction deltas (counter sources) and resident bytes (gauge).
+type CacheSources struct {
+	Hits, Misses, Evictions, Bytes string
+}
+
+// CachePolicy controls the candidate-cache byte budget from hit-rate
+// telemetry: a poor windowed hit ratio *while the LRU is evicting* means the
+// working set does not fit — double the budget; a near-perfect ratio with a
+// resident footprint far below budget means over-provisioning — halve it.
+// A poor ratio without evictions is cold traffic, not pressure, and is left
+// alone.
+func CachePolicy(src CacheSources) Policy {
+	return func(r Report, cur int64) int64 {
+		hits := r.Sources[src.Hits]
+		misses := r.Sources[src.Misses]
+		evicted := r.Sources[src.Evictions]
+		lookups := hits + misses
+		if lookups < minSignal {
+			return cur
+		}
+		ratio := hits / lookups
+		if ratio < 0.7 && evicted > 0 {
+			return cur * 2
+		}
+		if bytes, ok := r.Sources[src.Bytes]; ok && ratio > 0.95 && evicted == 0 && bytes*4 < float64(cur) {
+			return cur / 2
+		}
+		return cur
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -43,37 +43,43 @@ const (
 	KindChooseSim              // SimQuery action: continue approximately
 
 	// Child kinds (evaluation phases).
-	KindSpigBuild   // Algorithm 2: SPIG construction for the new edge
-	KindCanonical   // minimum-DFS canonical code computation
-	KindIndexProbe  // A²F/A²I lookups and FSG-list intersection
-	KindStepEval    // candidate-set maintenance after an action
-	KindCandFetch   // shared candidate-cache lookup (hit/miss/coalesced)
-	KindVerifyBatch // one verification fan-out through the workpool
-	KindVerifyCand  // one candidate's VF2 (or SimVerify) check
-	KindSimilarEval // Algorithm 5: similarity result generation
+	KindSpigBuild    // Algorithm 2: SPIG construction for the new edge
+	KindCanonical    // minimum-DFS canonical code computation
+	KindIndexProbe   // A²F/A²I lookups and FSG-list intersection
+	KindStepEval     // candidate-set maintenance after an action
+	KindCandFetch    // shared candidate-cache lookup (hit/miss/coalesced)
+	KindVerifyBatch  // one verification fan-out through the workpool
+	KindVerifyCand   // one candidate's VF2 (or SimVerify) check
+	KindSimilarEval  // Algorithm 5: similarity result generation
 	KindDegrade      // transparent containment→similarity degradation
 	KindShardEval    // per-shard candidate/verification fan-out
 	KindFilterChoose // adaptive verify-prefilter arm selection + pruning
+
+	// Synthetic kinds (recorded via Tracer.RecordEvent, not span trees).
+	KindSLOViolation // one SLO-violating tracker tick (slo package)
+	KindAdapt        // one adaptive-controller knob adjustment
 
 	numKinds
 )
 
 var kindNames = [numKinds]string{
-	KindAddEdge:     "add_edge",
-	KindDeleteEdge:  "delete_edge",
-	KindRun:         "run",
-	KindChooseSim:   "choose_similarity",
-	KindSpigBuild:   "spig_build",
-	KindCanonical:   "canonical_code",
-	KindIndexProbe:  "index_probe",
-	KindStepEval:    "step_eval",
-	KindCandFetch:   "cand_fetch",
-	KindVerifyBatch: "verify_batch",
-	KindVerifyCand:  "verify_candidate",
-	KindSimilarEval: "similar_eval",
+	KindAddEdge:      "add_edge",
+	KindDeleteEdge:   "delete_edge",
+	KindRun:          "run",
+	KindChooseSim:    "choose_similarity",
+	KindSpigBuild:    "spig_build",
+	KindCanonical:    "canonical_code",
+	KindIndexProbe:   "index_probe",
+	KindStepEval:     "step_eval",
+	KindCandFetch:    "cand_fetch",
+	KindVerifyBatch:  "verify_batch",
+	KindVerifyCand:   "verify_candidate",
+	KindSimilarEval:  "similar_eval",
 	KindDegrade:      "degrade_similarity",
 	KindShardEval:    "shard_eval",
 	KindFilterChoose: "filter_choose",
+	KindSLOViolation: "slo_violation",
+	KindAdapt:        "adapt",
 }
 
 func (k Kind) String() string {
@@ -149,6 +155,13 @@ type Tracer struct {
 	dropped *metrics.Counter
 	jevict  *metrics.Counter
 	jlen    *metrics.Counter
+
+	// obs, when set, observes every finished span (kind, duration) as root
+	// trees finalize — the bridge feeding trace-only phases (index probes,
+	// cache fetches, verify batches) into the SLO rolling windows without
+	// the two packages importing each other's hot paths. Set it once right
+	// after New, before the tracer is shared; read without synchronization.
+	obs func(kind string, d time.Duration)
 
 	mu      sync.Mutex
 	journal []*SpanData // sorted by DurUS ascending; len ≤ journalCap
@@ -227,6 +240,36 @@ func (t *Tracer) SetSlowThreshold(d time.Duration) {
 	if t != nil {
 		t.slowNS.Store(int64(d))
 	}
+}
+
+// SetSpanObserver registers fn to observe every finished span (kind and
+// duration) when its root tree finalizes. Publication rule as with
+// workpool.Pool.OnBatch: set once right after New, before the tracer is
+// shared. Nil-safe.
+func (t *Tracer) SetSpanObserver(fn func(kind string, d time.Duration)) {
+	if t != nil {
+		t.obs = fn
+	}
+}
+
+// RecordEvent records a synthetic, childless root span directly into the
+// finalization pipeline (phase histogram, span observer, slow journal) — for
+// events that are not user actions and have no natural start/end call sites,
+// like SLO violations and adaptive-controller adjustments. No-op on a nil or
+// disabled tracer.
+func (t *Tracer) RecordEvent(kind Kind, d time.Duration, attrs map[string]string, counts map[string]int64) {
+	if t == nil || !t.enabled.Load() {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	t.finishRoot(&SpanData{
+		Kind:   kind.String(),
+		DurUS:  d.Microseconds(),
+		Attrs:  attrs,
+		Counts: counts,
+	})
 }
 
 // StartRoot begins a new span tree for one user action and returns a
@@ -382,10 +425,15 @@ func (s *Span) Data() *SpanData {
 // finishRoot feeds the per-phase histograms and admits the tree into the
 // slow journal.
 func (t *Tracer) finishRoot(d *SpanData) {
-	if t.reg != nil {
+	if t.reg != nil || t.obs != nil {
 		d.Walk(func(s *SpanData) {
-			t.reg.Histogram(metrics.HistPhasePrefix + s.Kind).
-				Observe(time.Duration(s.DurUS) * time.Microsecond)
+			dur := time.Duration(s.DurUS) * time.Microsecond
+			if t.reg != nil {
+				t.reg.Histogram(metrics.HistPhasePrefix + s.Kind).Observe(dur)
+			}
+			if t.obs != nil {
+				t.obs(s.Kind, dur)
+			}
 		})
 	}
 	if d.DurUS < t.slowNS.Load()/1e3 {

@@ -1,0 +1,138 @@
+package workpool
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestResizeGrowAndShrink(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	if p.Workers() != 2 {
+		t.Fatalf("Workers = %d, want 2", p.Workers())
+	}
+
+	p.Resize(6)
+	if p.Workers() != 6 {
+		t.Fatalf("after grow Workers = %d, want 6", p.Workers())
+	}
+	waitFor(t, func() bool { return p.nworkers.Load() == 6 }, "6 live workers")
+
+	p.Resize(1)
+	if p.Workers() != 1 {
+		t.Fatalf("after shrink Workers = %d, want 1", p.Workers())
+	}
+	// Idle workers retire one by one, each re-arming the quit token.
+	waitFor(t, func() bool { return p.nworkers.Load() == 1 }, "retirement down to 1")
+
+	// Pool still serves work with a single worker (inline path).
+	out, err := p.Filter(context.Background(), []int{1, 2, 3}, func(id int) bool { return id != 2 })
+	if err != nil || len(out) != 2 {
+		t.Fatalf("post-shrink Filter = %v, %v", out, err)
+	}
+
+	p.Resize(0) // clamps to 1
+	if p.Workers() != 1 {
+		t.Fatalf("Resize(0) Workers = %d, want clamp to 1", p.Workers())
+	}
+}
+
+func TestResizeShrinkDoesNotInterruptTasks(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+
+	block := make(chan struct{})
+	started := make(chan struct{}, 4)
+	var wg sync.WaitGroup
+	// Occupy every worker with a blocking task, then shrink: the in-flight
+	// tasks must all complete; retirement happens only between tasks.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		p.tasks <- func() {
+			defer wg.Done()
+			started <- struct{}{}
+			<-block
+		}
+	}
+	for i := 0; i < 4; i++ {
+		<-started
+	}
+	if got := p.Busy(); got != 4 {
+		t.Fatalf("Busy = %d with 4 blocked tasks", got)
+	}
+
+	p.Resize(1)
+	if got := p.nworkers.Load(); got != 4 {
+		t.Fatalf("busy workers retired early: %d live", got)
+	}
+	close(block)
+	wg.Wait()
+	waitFor(t, func() bool { return p.nworkers.Load() == 1 }, "deferred retirement")
+	waitFor(t, func() bool { return p.Busy() == 0 }, "busy gauge back to zero")
+}
+
+func TestResizeGrowCancelsPendingShrink(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	// Shrink then immediately grow before any worker had a chance to pick up
+	// the quit token: leftover tokens must be dropped, not retire a worker
+	// below the new target.
+	p.Resize(1)
+	p.Resize(4)
+	waitFor(t, func() bool { return p.nworkers.Load() == 4 }, "grow to 4")
+	// Give any stale token a chance to be (wrongly) honored.
+	time.Sleep(10 * time.Millisecond)
+	if got := p.nworkers.Load(); got != 4 {
+		t.Fatalf("stale quit token retired a worker: %d live", got)
+	}
+}
+
+func TestResizeAfterCloseIsNoop(t *testing.T) {
+	p := New(2)
+	p.Close()
+	p.Resize(8) // must not spawn against a closed task channel
+	if got := p.nworkers.Load(); got != 2 {
+		t.Fatalf("Resize after Close spawned workers: %d live, want the pre-Close 2", got)
+	}
+	if got := p.Workers(); got != 2 {
+		t.Fatalf("Resize after Close moved the target to %d", got)
+	}
+}
+
+func TestNilPoolKnobs(t *testing.T) {
+	var p *Pool
+	p.Resize(8)
+	if p.Workers() != 1 || p.Busy() != 0 {
+		t.Fatalf("nil pool knobs = (%d, %d), want (1, 0)", p.Workers(), p.Busy())
+	}
+}
+
+func TestBusyGauge(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	if got := p.Busy(); got != 0 {
+		t.Fatalf("idle Busy = %d", got)
+	}
+	block := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	p.tasks <- func() { defer wg.Done(); <-block }
+	waitFor(t, func() bool { return p.Busy() == 1 }, "busy to reach 1")
+	close(block)
+	wg.Wait()
+	waitFor(t, func() bool { return p.Busy() == 0 }, "busy to drain")
+}

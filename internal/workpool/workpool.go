@@ -30,11 +30,18 @@ import (
 // a shared worker goroutine and, with it, the whole fleet's verification
 // capacity.
 type Pool struct {
-	tasks   chan func()
-	workers int
-	wg      sync.WaitGroup
-	once    sync.Once
-	panics  atomic.Int64
+	tasks chan func()
+	// quit carries retire tokens to workers when the pool is shrunk; see
+	// Resize. Buffered so Resize never blocks on a busy fleet.
+	quit     chan struct{}
+	target   atomic.Int64 // desired worker count (the concurrency bound)
+	nworkers atomic.Int64 // live worker goroutines
+	busy     atomic.Int64 // workers currently inside a task
+	mu       sync.Mutex   // guards spawn vs Close
+	closed   bool
+	wg       sync.WaitGroup
+	once     sync.Once
+	panics   atomic.Int64
 
 	// OnBatch, if set, observes each verification batch routed through the
 	// pool (the batch's candidate count). Set it right after New, before
@@ -59,25 +66,110 @@ func New(n int) *Pool {
 	if n < 1 {
 		n = runtime.GOMAXPROCS(0)
 	}
-	p := &Pool{tasks: make(chan func()), workers: n}
-	p.wg.Add(n)
-	for i := 0; i < n; i++ {
-		go func() {
-			defer p.wg.Done()
-			for task := range p.tasks {
-				task()
-			}
-		}()
-	}
+	p := &Pool{tasks: make(chan func()), quit: make(chan struct{}, 1)}
+	p.target.Store(int64(n))
+	p.mu.Lock()
+	p.spawn(n)
+	p.mu.Unlock()
 	return p
 }
 
-// Workers returns the pool's concurrency bound.
+// spawn starts n worker goroutines. Callers hold p.mu.
+func (p *Pool) spawn(n int) {
+	p.nworkers.Add(int64(n))
+	p.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go p.worker()
+	}
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		select {
+		case task, ok := <-p.tasks:
+			if !ok {
+				return
+			}
+			p.busy.Add(1)
+			task()
+			p.busy.Add(-1)
+		case <-p.quit:
+			if p.retire() {
+				return
+			}
+		}
+	}
+}
+
+// retire decides whether the worker holding a quit token should exit: only
+// while the live count still exceeds the target (tokens left over from a
+// shrink that a later grow cancelled are dropped). When more than one worker
+// must go, the retiring worker re-arms the token for the next one.
+func (p *Pool) retire() bool {
+	for {
+		cur := p.nworkers.Load()
+		tgt := p.target.Load()
+		if cur <= tgt {
+			return false
+		}
+		if p.nworkers.CompareAndSwap(cur, cur-1) {
+			if cur-1 > tgt {
+				p.nudgeQuit()
+			}
+			return true
+		}
+	}
+}
+
+func (p *Pool) nudgeQuit() {
+	select {
+	case p.quit <- struct{}{}:
+	default:
+	}
+}
+
+// Resize changes the pool's worker count to n (clamped to at least 1).
+// Growing spawns workers immediately; shrinking retires idle workers as they
+// come off tasks, so in-flight candidates are never interrupted. Safe to call
+// concurrently with Filter; a no-op after Close. This is the knob the
+// adaptive runtime's workpool controller turns.
+func (p *Pool) Resize(n int) {
+	if p == nil {
+		return
+	}
+	if n < 1 {
+		n = 1
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.target.Store(int64(n))
+	if grow := n - int(p.nworkers.Load()); grow > 0 {
+		p.spawn(grow)
+	} else if grow < 0 {
+		p.nudgeQuit()
+	}
+}
+
+// Workers returns the pool's concurrency bound (the resize target).
 func (p *Pool) Workers() int {
 	if p == nil {
 		return 1
 	}
-	return p.workers
+	return int(p.target.Load())
+}
+
+// Busy returns how many workers are currently inside a task. Sampled by the
+// SLO tracker to derive windowed worker utilization; maintained with two
+// atomic adds per task, no clock reads.
+func (p *Pool) Busy() int {
+	if p == nil {
+		return 0
+	}
+	return int(p.busy.Load())
 }
 
 // Panics returns how many predicate panics the pool has recovered since
@@ -117,6 +209,9 @@ func (p *Pool) Close() {
 	if p == nil {
 		return
 	}
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
 	p.once.Do(func() { close(p.tasks) })
 	p.wg.Wait()
 }
@@ -150,7 +245,7 @@ func (p *Pool) FilterStats(ctx context.Context, ids []int, pred func(id int) boo
 	// instrument below no-ops.
 	batch := trace.SpanFromContext(ctx).Child(trace.KindVerifyBatch)
 	batch.Add("candidates", int64(len(ids)))
-	if p == nil || p.workers <= 1 || len(ids) < 2 {
+	if p == nil || p.Workers() <= 1 || len(ids) < 2 {
 		out, err := filterInline(ctx, ids, pred, batch, p, &panics)
 		st := Stats{Panics: int(panics.Load())}
 		batch.Add("kept", int64(len(out)))

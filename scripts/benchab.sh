@@ -26,7 +26,7 @@ if [ -z "$base" ]; then
 	done
 fi
 
-re="${BENCH_RE:-^(BenchmarkMinDFSCode|BenchmarkSubgraphIsomorphism|BenchmarkSpigConstructPerStep|BenchmarkCandCacheMultiSession)$}"
+re="${BENCH_RE:-^(BenchmarkMinDFSCode|BenchmarkSubgraphIsomorphism|BenchmarkSpigConstructPerStep|BenchmarkCandCacheMultiSession|BenchmarkFleet)$}"
 count="${BENCH_COUNT:-3}"
 benchtime="${BENCH_TIME:-1x}"
 

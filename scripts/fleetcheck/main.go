@@ -1,0 +1,104 @@
+// Command fleetcheck validates a BENCH_fleet.json artifact: the schema the
+// fleet-smoke CI job depends on (rows with static/adaptive points per
+// session count), a strictly increasing session axis matching the rows, and
+// sane point values (non-negative latencies, shed rates in [0,1], completed
+// queries recorded). It is a schema gate, not a performance gate — the
+// static-vs-adaptive acceptance bar lives in TestFleetArtifact itself.
+//
+// Usage: go run ./scripts/fleetcheck BENCH_fleet.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+type point struct {
+	P50US    *int64   `json:"p50_us"`
+	P99US    *int64   `json:"p99_us"`
+	ShedRate *float64 `json:"shed_rate"`
+	Queries  *int64   `json:"queries"`
+	Shed     *int64   `json:"shed"`
+}
+
+type row struct {
+	Sessions int    `json:"sessions"`
+	Static   *point `json:"static"`
+	Adaptive *point `json:"adaptive"`
+}
+
+type artifact struct {
+	Workload    string `json:"workload"`
+	Sessions    []int  `json:"sessions"`
+	Rows        []row  `json:"rows"`
+	Adjustments *int64 `json:"adaptive_adjustments"`
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fail("usage: fleetcheck <BENCH_fleet.json>")
+	}
+	buf, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fail("%v", err)
+	}
+	var a artifact
+	if err := json.Unmarshal(buf, &a); err != nil {
+		fail("not valid JSON: %v", err)
+	}
+	if a.Workload == "" {
+		fail("missing workload description")
+	}
+	if a.Adjustments == nil {
+		fail("missing adaptive_adjustments")
+	}
+	if len(a.Rows) == 0 || len(a.Sessions) != len(a.Rows) {
+		fail("sessions axis (%d) does not match rows (%d)", len(a.Sessions), len(a.Rows))
+	}
+	for i, r := range a.Rows {
+		if r.Sessions != a.Sessions[i] {
+			fail("row %d: sessions %d does not match axis %d", i, r.Sessions, a.Sessions[i])
+		}
+		if i > 0 && r.Sessions <= a.Rows[i-1].Sessions {
+			fail("session axis not strictly increasing at row %d: %d after %d",
+				i, r.Sessions, a.Rows[i-1].Sessions)
+		}
+		for name, p := range map[string]*point{"static": r.Static, "adaptive": r.Adaptive} {
+			if p == nil {
+				fail("row %d: missing %s point", i, name)
+			}
+			checkPoint(i, name, p)
+		}
+	}
+	fmt.Printf("fleetcheck: %s ok (%d session counts, %d knob adjustments)\n",
+		os.Args[1], len(a.Rows), *a.Adjustments)
+}
+
+func checkPoint(i int, name string, p *point) {
+	for field, v := range map[string]*int64{"p50_us": p.P50US, "p99_us": p.P99US, "queries": p.Queries, "shed": p.Shed} {
+		if v == nil {
+			fail("row %d %s: missing %s", i, name, field)
+		}
+		if *v < 0 {
+			fail("row %d %s: negative %s (%d)", i, name, field, *v)
+		}
+	}
+	if p.ShedRate == nil {
+		fail("row %d %s: missing shed_rate", i, name)
+	}
+	if *p.ShedRate < 0 || *p.ShedRate > 1 {
+		fail("row %d %s: shed_rate %v outside [0,1]", i, name, *p.ShedRate)
+	}
+	if *p.Queries == 0 {
+		fail("row %d %s: no completed queries recorded", i, name)
+	}
+	if *p.P99US < *p.P50US {
+		fail("row %d %s: p99 (%d) below p50 (%d)", i, name, *p.P99US, *p.P50US)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "fleetcheck: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -187,18 +187,16 @@ func TestFacadeRobustnessExports(t *testing.T) {
 	}
 	c, _ := ss2.AddNode("C")
 	d, _ := ss2.AddNode("N")
-	firedBefore := inj.Fired(FaultSiteVerify)
+	fired := inj.NotifyFired(FaultSiteVerify)
 	holder := make(chan error, 1)
 	go func() {
 		_, err := ss.RunDetailed(ctx)
 		holder <- err
 	}()
-	deadline := time.Now().Add(5 * time.Second)
-	for inj.Fired(FaultSiteVerify) == firedBefore {
-		if time.Now().After(deadline) {
-			t.Fatal("latency rule never fired; slot-holder run did not verify")
-		}
-		time.Sleep(time.Millisecond)
+	select {
+	case <-fired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("latency rule never fired; slot-holder run did not verify")
 	}
 	_, err = ss2.AddEdge(ctx, c, d)
 	if err == nil || !errors.Is(err, ErrOverloaded) {
