@@ -13,6 +13,10 @@
 //
 //	praguecli -db aids.txt -index ./aids-index -sigma 3
 //	praguecli -generate 1000            # self-contained demo database
+//	praguecli -connect 127.0.0.1:7701,127.0.0.1:7702
+//	                                    # serve sessions from a remote
+//	                                    # shard-server topology (see
+//	                                    # cmd/shardserver)
 //
 // Commands:
 //
@@ -31,6 +35,8 @@
 //	slo                print the rolling-window SLO report: per-phase and
 //	                   per-stage latency windows, shed/admit rates, burn
 //	                   rates, and controller knob values
+//	shards             print per-shard endpoint health of the remote
+//	                   topology (-connect only)
 //	quit
 //
 // Tracing is on by default (disable with -trace=false); -slow sets the
@@ -73,32 +79,40 @@ func main() {
 		shards   = flag.Int("shards", 1, "hash-partition the database and indexes into this many shards (1 = monolithic)")
 		sloP99   = flag.Duration("slo", 0, "declare a p99 SRT target and enable rolling-window SLO telemetry (the 'slo' command and /slo)")
 		adaptive = flag.Bool("adaptive", false, "let telemetry-driven controllers move runtime knobs (implies SLO telemetry)")
+		connect  = flag.String("connect", "", "comma-separated shardserver endpoints: serve from the remote topology instead of a local database")
 	)
 	flag.Parse()
 
-	graphs, err := loadGraphs(*dbPath, *generate)
-	if err != nil {
-		fail(err)
-	}
-	db, err := prague.NewDatabase(graphs)
-	if err != nil {
-		fail(err)
-	}
-	fmt.Printf("database: %d graphs\n", db.Len())
-
-	var idx *index.Set
-	if *indexDir != "" {
-		idx, err = index.Load(*indexDir)
-	} else {
-		fmt.Println("mining indexes (use -index to load persisted ones)...")
-		var mined *mining.Result
-		mined, err = mining.Mine(db.Graphs(), mining.Options{MinSupportRatio: *alpha, MaxSize: 6, IncludeZeroSupportPairs: true})
-		if err == nil {
-			idx, err = index.Build(mined, *alpha, 4)
+	var (
+		db  *prague.Database
+		idx *index.Set
+		err error
+	)
+	if *connect == "" {
+		var graphs []*graph.Graph
+		graphs, err = loadGraphs(*dbPath, *generate)
+		if err != nil {
+			fail(err)
 		}
-	}
-	if err != nil {
-		fail(err)
+		db, err = prague.NewDatabase(graphs)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("database: %d graphs\n", db.Len())
+
+		if *indexDir != "" {
+			idx, err = index.Load(*indexDir)
+		} else {
+			fmt.Println("mining indexes (use -index to load persisted ones)...")
+			var mined *mining.Result
+			mined, err = mining.Mine(db.Graphs(), mining.Options{MinSupportRatio: *alpha, MaxSize: 6, IncludeZeroSupportPairs: true})
+			if err == nil {
+				idx, err = index.Build(mined, *alpha, 4)
+			}
+		}
+		if err != nil {
+			fail(err)
+		}
 	}
 
 	opts := []prague.Option{
@@ -122,9 +136,25 @@ func main() {
 	if *adaptive {
 		opts = append(opts, prague.WithAdaptive(true))
 	}
-	svc, err := prague.NewService(db, idx, opts...)
-	if err != nil {
-		fail(err)
+	var svc *prague.Service
+	if *connect != "" {
+		endpoints := strings.Split(*connect, ",")
+		for i := range endpoints {
+			endpoints[i] = strings.TrimSpace(endpoints[i])
+		}
+		opts = append(opts, prague.WithRemoteShards(endpoints...))
+		svc, err = prague.NewServiceFromRemote(opts...)
+		if err != nil {
+			fail(err)
+		}
+		st := svc.Store()
+		fmt.Printf("connected: %d endpoints, %d shards, %d graphs, tag %s\n",
+			len(endpoints), st.NumShards(), st.NumGraphs(), st.CacheTag())
+	} else {
+		svc, err = prague.NewService(db, idx, opts...)
+		if err != nil {
+			fail(err)
+		}
 	}
 	defer svc.Close()
 	if *opsAddr != "" {
@@ -147,7 +177,7 @@ func main() {
 		fields := strings.Fields(line)
 		switch fields[0] {
 		case "help":
-			fmt.Println("commands: node <label> | edge <u> <v> [lbl] | sim | suggest | delete <step> | status | run | explain <id> | metrics | trace | slo | quit")
+			fmt.Println("commands: node <label> | edge <u> <v> [lbl] | sim | suggest | delete <step> | status | run | explain <id> | metrics | trace | slo | shards | quit")
 		case "node":
 			if len(fields) != 2 {
 				fmt.Println("usage: node <label>")
@@ -279,6 +309,15 @@ func main() {
 				continue
 			}
 			renderTrace(os.Stdout, rep, svc.SlowSpans())
+		case "shards":
+			hr := svc.ShardHealth()
+			if hr == nil {
+				fmt.Println("in-process store — no remote shard topology (use -connect)")
+				continue
+			}
+			for _, h := range hr {
+				fmt.Printf("shard %d: %d/%d endpoints healthy\n", h.Shard, h.Healthy, h.Endpoints)
+			}
 		case "slo":
 			renderSLO(os.Stdout, svc.SLOReport())
 		case "quit", "exit":

@@ -340,6 +340,7 @@ func (d *driver) addNode() int {
 func typedActionErr(err error) bool {
 	return errors.Is(err, service.ErrOverloaded) ||
 		errors.Is(err, service.ErrServiceClosed) ||
+		errors.Is(err, core.ErrShardUnavailable) ||
 		errors.Is(err, core.ErrAwaitingChoice) ||
 		errors.Is(err, core.ErrEmptyQuery) ||
 		errors.Is(err, core.ErrBudgetExhausted) ||

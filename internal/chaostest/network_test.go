@@ -1,0 +1,46 @@
+package chaostest
+
+import "testing"
+
+// TestNetworkChaos is the distributed-serving acceptance gate: 50 seeded
+// partition schedules over a real loopback topology (two shards, two
+// replicas each, one RemoteStore coordinator), cycling connection drops,
+// slow replicas, full shard partitions, stale-epoch replies, dead-replica
+// failover, and latency-plus-mutation mixes. Every schedule must finish
+// inside the watchdog (no deadlock), every answer must be complete, flagged,
+// or a typed error, and every fault family must demonstrably bite — a
+// network chaos suite whose hedges never fire proves nothing.
+func TestNetworkChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("network chaos boots 200 loopback servers; skipped in -short")
+	}
+	tot := RunNetwork(t, QuickNetwork())
+	if t.Failed() {
+		return
+	}
+	t.Logf("network chaos totals: %+v", tot)
+	if tot.Runs == 0 {
+		t.Fatal("network chaos checked zero runs")
+	}
+	if tot.FaultsFired == 0 {
+		t.Fatal("no network fault ever fired — the schedules are not reaching the RPC sites")
+	}
+	if tot.Hedged == 0 || tot.HedgeWins == 0 {
+		t.Errorf("hedging never raced a slow replica to a win (hedged=%d wins=%d)", tot.Hedged, tot.HedgeWins)
+	}
+	if tot.Retries == 0 {
+		t.Error("no call ever took a retry round — the drop schedules are not biting")
+	}
+	if tot.RPCErrors == 0 {
+		t.Error("no call ever exhausted its endpoints — the partition schedules never degraded typed")
+	}
+	if tot.StaleEpoch == 0 {
+		t.Error("no corrupted reply was ever rejected — the stale-epoch schedules are not biting")
+	}
+	if tot.Mutations == 0 {
+		t.Fatal("the network mutator never committed a mutation")
+	}
+	if tot.MutatedRuns == 0 {
+		t.Error("no run ever pinned a post-mutation epoch over the wire")
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"time"
 
@@ -30,12 +31,16 @@ import (
 // them (Rq verification in Run, Rver in SimilarResultsGen), so a list
 // published by a session with a differently-inherited Φ/Υ never changes
 // final answers.
-func (e *Engine) exactSubCandidates(ctx context.Context, v *spig.Vertex) []int {
+// A probe error (only possible on remote layouts, and only for indexed
+// vertices — NIF probe failures degrade per shard to sound supersets) is
+// returned without memoizing or publishing anything, so recovery is
+// immediate once the shard heals.
+func (e *Engine) exactSubCandidates(ctx context.Context, v *spig.Vertex) ([]int, error) {
 	if v == nil {
-		return nil
+		return nil, nil
 	}
 	if ids, ok := e.candMemo[v]; ok {
-		return ids
+		return ids, nil
 	}
 	if v.Kind != index.KindFrequent && v.Kind != index.KindDIF {
 		// The fault hook covers only NIF probes: their candidate lists are
@@ -47,12 +52,13 @@ func (e *Engine) exactSubCandidates(ctx context.Context, v *spig.Vertex) []int {
 		// is immediate once the probes heal.
 		if err := faultinject.Hit(ctx, faultinject.SiteIndex); err != nil {
 			trace.SpanFromContext(ctx).Add("index_fault_fallback", 1)
-			return e.allIds()
+			return e.allIds(), nil
 		}
 	}
 	var ids []int
+	var err error
 	if e.cache == nil || v.Kind == index.KindFrequent || v.Kind == index.KindDIF {
-		ids = e.computeCandidates(ctx, v)
+		ids, err = e.computeCandidates(ctx, v)
 	} else {
 		// Candidate intersection is pure and never polls cancellation, so
 		// the cache call runs on a background context — cancelling mid-Do
@@ -61,21 +67,24 @@ func (e *Engine) exactSubCandidates(ctx context.Context, v *spig.Vertex) []int {
 		// action's tree and cache faults still fire under chaos schedules.
 		cctx := trace.ContextWithSpan(context.Background(), trace.SpanFromContext(ctx))
 		cctx = faultinject.With(cctx, faultinject.FromContext(ctx))
-		ids, _ = e.cache.Do(cctx, e.candKey(v.Code),
-			func(ctx context.Context) ([]int, error) { return e.computeCandidates(ctx, v), nil })
+		ids, err = e.cache.Do(cctx, e.candKey(v.Code),
+			func(ctx context.Context) ([]int, error) { return e.computeCandidates(ctx, v) })
+	}
+	if err != nil {
+		return nil, err
 	}
 	if e.candMemo == nil {
 		e.candMemo = map[*spig.Vertex][]int{}
 	}
 	e.candMemo[v] = ids
-	return ids
+	return ids, nil
 }
 
 // computeCandidates resolves a vertex's candidate list against the store:
 // per shard (concurrently when the store is partitioned) and then merged by
 // ascending graph id. Shard FSG lists partition the monolithic lists, so the
 // merged result is byte-identical to the single-shard computation.
-func (e *Engine) computeCandidates(ctx context.Context, v *spig.Vertex) []int {
+func (e *Engine) computeCandidates(ctx context.Context, v *spig.Vertex) ([]int, error) {
 	if sp := trace.SpanFromContext(ctx); sp != nil {
 		t0 := time.Now()
 		defer func() {
@@ -87,23 +96,29 @@ func (e *Engine) computeCandidates(ctx context.Context, v *spig.Vertex) []int {
 		e.probeScratch = make([]shardScratch, n)
 	}
 	if n == 1 {
-		return shardCandidates(e.snap.Shard(0), v, &e.probeScratch[0])
+		return shardCandidates(ctx, e.snap.Shard(0), v, &e.probeScratch[0])
 	}
 	t0 := time.Now()
 	parts := make([][]int, n)
+	errs := make([]error, n)
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			parts[i] = shardCandidates(e.snap.Shard(i), v, &e.probeScratch[i])
+			parts[i], errs[i] = shardCandidates(ctx, e.snap.Shard(i), v, &e.probeScratch[i])
 		}(i)
 	}
 	wg.Wait()
 	if sp := trace.SpanFromContext(ctx); sp != nil {
 		sp.Record(trace.KindShardEval, time.Since(t0), "shard_probes", int64(n))
 	}
-	return store.MergeSorted(parts)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return store.MergeSorted(parts), nil
 }
 
 // shardCandidates is Algorithm 3's index probe against one shard: the
@@ -111,13 +126,37 @@ func (e *Engine) computeCandidates(ctx context.Context, v *spig.Vertex) []int {
 // for NIFs, and the shard's whole id set when no index information exists.
 // The NIF intersection runs word-at-a-time over compressed bitsets in the
 // shard's reusable scratch; only the final memoized list is allocated.
-func shardCandidates(sh store.Shard, v *spig.Vertex, sc *shardScratch) []int {
+//
+// A shard without an in-process index (sh.Index() == nil) is remote: the
+// probe ships to it as one store.Probe round trip. An indexed probe that
+// fails there is a typed error (its list feeds verification-free answering —
+// no sound fallback exists), while a failed NIF probe degrades to the
+// shard's whole id set, which downstream verification makes exact again.
+func shardCandidates(ctx context.Context, sh store.Shard, v *spig.Vertex, sc *shardScratch) ([]int, error) {
 	idx := sh.Index()
+	if idx == nil {
+		ps, ok := sh.(store.ProberShard)
+		if !ok {
+			return nil, fmt.Errorf("core: shard %d has neither an index nor a prober: %w",
+				sh.ID(), store.ErrShardUnavailable)
+		}
+		ids, err := ps.Candidates(ctx, store.Probe{
+			Kind: v.Kind, FreqID: v.FreqID, DifID: v.DifID, Phi: v.Phi, Ups: v.Ups,
+		})
+		if err != nil {
+			if v.Kind == index.KindFrequent || v.Kind == index.KindDIF {
+				return nil, fmt.Errorf("core: indexed probe on shard %d: %w", sh.ID(), err)
+			}
+			trace.SpanFromContext(ctx).Add("shard_probe_fallback", 1)
+			return sh.GraphIDs(), nil
+		}
+		return ids, nil
+	}
 	switch v.Kind {
 	case index.KindFrequent:
-		return idx.A2F.FSGIds(v.FreqID)
+		return idx.A2F.FSGIds(v.FreqID), nil
 	case index.KindDIF:
-		return idx.A2I.FSGIds(v.DifID)
+		return idx.A2I.FSGIds(v.DifID), nil
 	}
 	if len(v.Phi) == 0 && len(v.Ups) == 0 {
 		// A NIF with no indexed subgraph information at all. This cannot
@@ -125,7 +164,7 @@ func shardCandidates(sh store.Shard, v *spig.Vertex, sc *shardScratch) []int {
 		// or a DIF, and Υ propagates), but a degraded index — e.g. the
 		// A²I-disabled ablation — can reach here. With no information, the
 		// sound candidate set is the whole shard.
-		return sh.GraphIDs()
+		return sh.GraphIDs(), nil
 	}
 	// DIFs have the strongest pruning power; intersect them first so the
 	// running set shrinks early.
@@ -141,15 +180,15 @@ func shardCandidates(sh store.Shard, v *spig.Vertex, sc *shardScratch) []int {
 	}
 	for _, id := range v.Ups {
 		if !and(idx.A2I.FSGIds(id)) {
-			return nil
+			return nil, nil
 		}
 	}
 	for _, id := range v.Phi {
 		if !and(idx.A2F.FSGIds(id)) {
-			return nil
+			return nil, nil
 		}
 	}
-	return sc.a.AppendTo(make([]int, 0, sc.a.Len()))
+	return sc.a.AppendTo(make([]int, 0, sc.a.Len())), nil
 }
 
 // allIds returns the identifier universe of the pinned epoch: the live graph
@@ -177,7 +216,10 @@ func (e *Engine) similarSubCandidates(ctx context.Context) (rfree, rver levelSet
 		}
 		var free, ver []int
 		for _, v := range e.spigs.LevelVertices(i) {
-			ids := e.exactSubCandidates(ctx, v)
+			ids, verr := e.exactSubCandidates(ctx, v)
+			if verr != nil {
+				return nil, nil, verr
+			}
 			if v.Kind == index.KindFrequent || v.Kind == index.KindDIF {
 				free = intset.Union(free, ids)
 			} else {

@@ -319,7 +319,11 @@ func (e *Engine) refreshInner(ctx context.Context) (StepOutcome, error) {
 	}
 	if !e.simFlag {
 		target := e.spigs.Target(e.q)
-		e.rq = e.exactSubCandidates(ctx, target)
+		rq, err := e.exactSubCandidates(ctx, target)
+		if err != nil {
+			return StepOutcome{}, err
+		}
+		e.rq = rq
 		if len(e.rq) > 0 {
 			e.pending = false
 			status := StatusInfrequent
@@ -331,7 +335,6 @@ func (e *Engine) refreshInner(ctx context.Context) (StepOutcome, error) {
 		// Rq became empty: precompute similarity candidates (Algorithm 1
 		// lines 7-10) and ask the user to choose.
 		e.pending = true
-		var err error
 		e.rfree, e.rver, err = e.similarSubCandidates(ctx)
 		if err != nil {
 			return StepOutcome{}, err

@@ -32,4 +32,8 @@ var (
 	// ErrBudgetExhausted: the per-Run evaluation budget expired with nothing
 	// to serve on any rung of the degradation ladder.
 	ErrBudgetExhausted = errors.New("run budget exhausted")
+	// ErrShardUnavailable: an indexed-vertex candidate probe could not be
+	// served by any endpoint owning the shard (remote layouts only). Shared
+	// with the store package so errors.Is works across layers.
+	ErrShardUnavailable = store.ErrShardUnavailable
 )

@@ -39,7 +39,11 @@ func (e *Engine) SuggestDeletion() (Suggestion, error) {
 		if v == nil {
 			continue // cannot happen for a well-formed SPIG set
 		}
-		if n := len(e.exactSubCandidates(context.Background(), v)); n > best.Candidates {
+		ids, err := e.exactSubCandidates(context.Background(), v)
+		if err != nil {
+			continue // an unreachable shard disqualifies this edge, not the whole suggestion
+		}
+		if n := len(ids); n > best.Candidates {
 			best = Suggestion{Step: s, Candidates: n}
 		}
 	}

@@ -32,9 +32,13 @@ func (e *Engine) similarResultsGen(ctx context.Context, qg *graph.Graph) ([]Resu
 	// same query share one pass.
 	var ctxErr error
 	if target := e.spigs.Target(e.q); target != nil {
-		exact, err := e.exactContainment(ctx, target.Code, qg, e.exactSubCandidates(ctx, target))
-		for _, id := range exact {
-			assigned[id] = 0
+		cands, err := e.exactSubCandidates(ctx, target)
+		if err == nil {
+			var exact []int
+			exact, err = e.exactContainment(ctx, target.Code, qg, cands)
+			for _, id := range exact {
+				assigned[id] = 0
+			}
 		}
 		ctxErr = err
 	}
@@ -115,7 +119,11 @@ func (e *Engine) verifyLevelCached(ctx context.Context, i int, pending []int) ([
 		if v.Kind == index.KindFrequent || v.Kind == index.KindDIF {
 			continue
 		}
-		ids, err := e.exactContainment(ctx, v.Code, v.Frag, e.exactSubCandidates(ctx, v))
+		cands, err := e.exactSubCandidates(ctx, v)
+		if err != nil {
+			return confirmed, err
+		}
+		ids, err := e.exactContainment(ctx, v.Code, v.Frag, cands)
 		confirmed = intset.Union(confirmed, intset.Intersect(pending, ids))
 		if err != nil {
 			return confirmed, err

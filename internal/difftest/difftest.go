@@ -1,11 +1,14 @@
 // Package difftest is the differential correctness harness: it generates
 // random labeled databases and random edit scripts, drives the PRAGUE engine
-// through each script four times — monolithic and hash-sharded stores, each
-// with the shared candidate cache enabled and disabled — and requires every
-// Run answer to be set-equal to the index-free naivescan oracle (Definition 3
-// by construction). On top of the oracle check, the sharded variants must be
-// byte-identical to their monolithic twins (same mode, same ids, same
-// distances, same order): sharding is a layout choice, never a semantic one.
+// through each script five times — monolithic and hash-sharded stores, each
+// with the shared candidate cache enabled and disabled, plus a RemoteStore
+// evaluating the sharded layout over in-process loopback shard servers — and
+// requires every Run answer to be set-equal to the index-free naivescan
+// oracle (Definition 3 by construction). On top of the oracle check, the
+// sharded variants must be byte-identical to their monolithic twins and the
+// remote variant byte-identical to its local sharded twin (same mode, same
+// ids, same distances, same order): sharding is a layout choice and the
+// network is a transport choice — never a semantic one.
 //
 // The two variants are deliberately allowed to diverge in *mode*: a cached
 // NIF candidate list published by an earlier script can be a different sound
@@ -21,6 +24,7 @@
 package difftest
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -30,6 +34,7 @@ import (
 	"prague/internal/index"
 	"prague/internal/mining"
 	"prague/internal/naivescan"
+	"prague/internal/rpcstore"
 	"prague/internal/store"
 )
 
@@ -78,10 +83,15 @@ func Run(tb testing.TB, cfg Config) int {
 		if cache == nil {
 			tb.Fatalf("difftest: cache budget %d produced no cache", cfg.CacheBytes)
 		}
-		h := &harness{tb: tb, db: db, idx: idx, st: sharded, oracle: oracle, cache: cache, sigma: cfg.Sigma}
+		// The plain suite never mutates, so both loopback servers can wrap
+		// the same sharded store; each serves half the layout to force
+		// genuine scatter-gather.
+		remote, stop := bootRemote(tb, []store.Store{sharded, sharded}, [][]int{{0, 1}, {2, 3}})
+		h := &harness{tb: tb, db: db, idx: idx, st: sharded, remote: remote, oracle: oracle, cache: cache, sigma: cfg.Sigma}
 		for s := 0; s < cfg.Scripts; s++ {
 			h.runScript(rand.New(rand.NewSource(seed + int64(s) + 1)))
 		}
+		stop()
 		if got := cache.Stats(); got.Hits+got.Coalesced == 0 && cfg.Scripts > 3 {
 			tb.Fatalf("difftest: db %d: %d scripts shared no cache entries (%+v) — the cached variant is not exercising the cache", d, cfg.Scripts, got)
 		}
@@ -143,41 +153,77 @@ type harness struct {
 	idx    *index.Set
 	st     store.Store // 4-way sharded layout of (db, idx)
 	mono   store.Store // monolithic twin, mutated in lockstep (mutation suite)
+	remote store.Store // coordinator over loopback shard servers
 	oracle *naivescan.Engine
 	cache  *candcache.Cache
 	sigma  int
 	cases  int
 }
 
-// Variant layout: even indices run uncached, odd indices share the cache;
-// the back pair evaluates on the sharded store. twinOf maps each sharded
-// variant to the monolithic variant it must answer byte-identically to.
-var variantNames = [4]string{"cache-off", "cache-on", "shard-off", "shard-on"}
+// Variant layout: indices 0-3 alternate uncached/cached over the monolithic
+// and local-sharded stores; index 4 evaluates uncached on the RemoteStore.
+// twinOf maps each variant to the one it must answer byte-identically to —
+// sharded to monolithic, remote to local-sharded.
+var variantNames = [5]string{"cache-off", "cache-on", "shard-off", "shard-on", "remote"}
 
 func twinOf(i int) int { return i - 2 }
+
+// bootRemote starts one loopback shard server per replica store (each
+// answering probes for its slice of the 4-shard layout), dials a
+// coordinator over them, and returns it with a teardown func. The plain
+// suite passes the same immutable sharded store as every replica; the
+// mutation suite passes independent replicas so lockstep mutation broadcast
+// is exercised for real.
+func bootRemote(tb testing.TB, reps []store.Store, serve [][]int) (store.Store, func()) {
+	tb.Helper()
+	servers := make([]*rpcstore.Server, 0, len(reps))
+	addrs := make([]string, 0, len(reps))
+	for i, st := range reps {
+		srv := rpcstore.NewServer(st, rpcstore.WithServeShards(serve[i]...))
+		if err := srv.Listen("127.0.0.1:0"); err != nil {
+			tb.Fatal(err)
+		}
+		servers = append(servers, srv)
+		addrs = append(addrs, srv.Addr().String())
+	}
+	rs, err := rpcstore.Dial(context.Background(), addrs)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return rs, func() {
+		rs.Close()
+		for _, s := range servers {
+			s.Close()
+		}
+	}
+}
 
 // runScript drives one random edit script through both engine variants in
 // lockstep. Structural validity (duplicate edges, disconnecting deletes) is
 // identical across variants because both hold the same query graph, so both
 // must accept or reject every operation together.
 func (h *harness) runScript(r *rand.Rand) {
-	var engines [4]*core.Engine
+	var engines [5]*core.Engine
 	for i := range engines {
 		var (
 			e   *core.Engine
 			err error
 		)
-		if i < 2 {
+		switch {
+		case i < 2:
 			e, err = core.New(h.db, h.idx, h.sigma)
-		} else {
+		case i < 4:
 			e, err = core.NewWithStore(h.st, h.sigma)
+		default:
+			e, err = core.NewWithStore(h.remote, h.sigma)
 		}
 		if err != nil {
 			h.tb.Fatal(err)
 		}
-		if i%2 == 1 {
-			// One cache for both layouts: the store's cache tag namespaces
-			// the keys, so monolithic and sharded entries never collide.
+		if i == 1 || i == 3 {
+			// One cache for both local layouts: the store's cache tag
+			// namespaces the keys, so monolithic and sharded entries never
+			// collide. The remote variant runs uncached.
 			e.SetCandidateCache(h.cache)
 		}
 		engines[i] = e
@@ -253,8 +299,8 @@ func (h *harness) runScript(r *rand.Rand) {
 
 // applyBoth applies one formulation action to both variants, requires them
 // to agree on acceptance, and resolves the empty-Rq choice per variant.
-func (h *harness) applyBoth(engines [4]*core.Engine, what string, action func(e *core.Engine) (core.StepOutcome, error)) {
-	var errs [4]error
+func (h *harness) applyBoth(engines [5]*core.Engine, what string, action func(e *core.Engine) (core.StepOutcome, error)) {
+	var errs [5]error
 	for i, e := range engines {
 		out, err := action(e)
 		errs[i] = err
@@ -272,11 +318,11 @@ func (h *harness) applyBoth(engines [4]*core.Engine, what string, action func(e 
 
 // check runs both variants and compares each against the oracle that matches
 // its own final mode. Queries that emptied completely are skipped.
-func (h *harness) check(engines [4]*core.Engine) {
+func (h *harness) check(engines [5]*core.Engine) {
 	var (
-		results [4][]core.Result
-		simMode [4]bool
-		ran     [4]bool
+		results [5][]core.Result
+		simMode [5]bool
+		ran     [5]bool
 	)
 	for i, e := range engines {
 		if e.Query().Size() == 0 {
@@ -318,8 +364,9 @@ func (h *harness) check(engines [4]*core.Engine) {
 		results[i], simMode[i], ran[i] = got, e.SimilarityMode(), true
 		h.cases++
 	}
-	// Layout must be invisible: each sharded variant answers byte-identically
-	// to its monolithic twin, down to the mode it ended in.
+	// Layout and transport must be invisible: each sharded variant answers
+	// byte-identically to its monolithic twin, and the remote variant to its
+	// local-sharded twin, down to the mode it ended in.
 	for i := 2; i < len(engines); i++ {
 		j := twinOf(i)
 		if ran[i] != ran[j] || simMode[i] != simMode[j] {

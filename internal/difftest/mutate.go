@@ -1,14 +1,16 @@
 // Mutation differential suite: the lockstep harness extended with online
-// graph mutation. Two stores — a monolithic Mem and a 4-way sharded layout —
-// are built from the same random database and mutated in lockstep (every
-// InsertGraph/DeleteGraph applied to both, asserting they assign the same
-// ids and publish the same epochs), while random edit scripts formulate
-// queries through the usual four engine variants (mono/shard × cache
-// off/on). The oracle is a live naivescan over the sharded store, so after
-// every mutation the ground truth is recomputed from the store's own live
-// graphs — an insert that lands in the wrong shard, a delete that leaves a
-// stale id in an index list, or a cache entry surviving an epoch change all
-// surface as an oracle mismatch.
+// graph mutation. Three stores — a monolithic Mem, a 4-way sharded layout,
+// and a RemoteStore coordinating two independent server-side replicas over
+// loopback TCP — are built from the same random database and mutated in
+// lockstep (every InsertGraph/DeleteGraph applied to all, asserting they
+// assign the same ids and publish the same epochs), while random edit
+// scripts formulate queries through five engine variants (mono/shard ×
+// cache off/on, plus remote). The oracle is a live naivescan over the
+// sharded store, so after every mutation the ground truth is recomputed
+// from the store's own live graphs — an insert that lands in the wrong
+// shard, a delete that leaves a stale id in an index list, a cache entry
+// surviving an epoch change, or a replica that diverged under the
+// coordinator's mutation broadcast all surface as an oracle mismatch.
 
 package difftest
 
@@ -44,13 +46,33 @@ func RunMutation(tb testing.TB, cfg Config) int {
 			tb.Fatal(err)
 		}
 		cache := candcache.New(cfg.CacheBytes, nil)
-		h := &harness{tb: tb, db: db, idx: idx, st: sharded, mono: mono, oracle: oracle, cache: cache, sigma: cfg.Sigma}
+		// The remote coordinator mutates, so its servers need replicas of
+		// their own — independent sharded stores built from the same
+		// deterministic inputs, kept in lockstep by the mutation broadcast.
+		rep1, err := store.NewSharded(db, idx, 4)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		rep2, err := store.NewSharded(db, idx, 4)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		remote, stop := bootRemote(tb, []store.Store{rep1, rep2}, [][]int{{0, 1}, {2, 3}})
+		h := &harness{tb: tb, db: db, idx: idx, st: sharded, mono: mono, remote: remote, oracle: oracle, cache: cache, sigma: cfg.Sigma}
 		for s := 0; s < cfg.Scripts; s++ {
 			mutations += h.runMutScript(rand.New(rand.NewSource(seed + int64(s) + 1)))
 		}
-		if mono.Epoch() != sharded.Epoch() {
-			tb.Fatalf("difftest: db %d: final epochs diverged: mono %d, sharded %d", d, mono.Epoch(), sharded.Epoch())
+		if mono.Epoch() != sharded.Epoch() || remote.Epoch() != sharded.Epoch() {
+			tb.Fatalf("difftest: db %d: final epochs diverged: mono %d, sharded %d, remote %d",
+				d, mono.Epoch(), sharded.Epoch(), remote.Epoch())
 		}
+		for i, rep := range []store.Store{rep1, rep2} {
+			if rep.Epoch() != sharded.Epoch() || rep.CacheTag() != sharded.CacheTag() {
+				tb.Fatalf("difftest: db %d: server replica %d diverged: (%d, %s) vs (%d, %s)",
+					d, i, rep.Epoch(), rep.CacheTag(), sharded.Epoch(), sharded.CacheTag())
+			}
+		}
+		stop()
 		total += h.cases
 	}
 	if mutations == 0 {
@@ -71,24 +93,31 @@ func (h *harness) mutateBoth(r *rand.Rand) {
 		if err != nil {
 			h.tb.Fatalf("difftest: mono insert: %v", err)
 		}
+		idRemote, err := h.remote.InsertGraph(g.Clone())
+		if err != nil {
+			h.tb.Fatalf("difftest: remote insert: %v", err)
+		}
 		idShard, err := h.st.InsertGraph(g)
 		if err != nil {
 			h.tb.Fatalf("difftest: sharded insert: %v", err)
 		}
-		if idMono != idShard {
-			h.tb.Fatalf("difftest: insert ids diverged: mono %d, sharded %d", idMono, idShard)
+		if idMono != idShard || idRemote != idShard {
+			h.tb.Fatalf("difftest: insert ids diverged: mono %d, sharded %d, remote %d", idMono, idShard, idRemote)
 		}
 	} else {
 		id := live[r.Intn(len(live))]
 		if err := h.mono.DeleteGraph(id); err != nil {
 			h.tb.Fatalf("difftest: mono delete %d: %v", id, err)
 		}
+		if err := h.remote.DeleteGraph(id); err != nil {
+			h.tb.Fatalf("difftest: remote delete %d: %v", id, err)
+		}
 		if err := h.st.DeleteGraph(id); err != nil {
 			h.tb.Fatalf("difftest: sharded delete %d: %v", id, err)
 		}
 	}
-	if me, se := h.mono.Epoch(), h.st.Epoch(); me != se {
-		h.tb.Fatalf("difftest: epochs diverged after mutation: mono %d, sharded %d", me, se)
+	if me, se, re := h.mono.Epoch(), h.st.Epoch(), h.remote.Epoch(); me != se || re != se {
+		h.tb.Fatalf("difftest: epochs diverged after mutation: mono %d, sharded %d, remote %d", me, se, re)
 	}
 }
 
@@ -100,17 +129,20 @@ func (h *harness) mutateBoth(r *rand.Rand) {
 // after a mutation compares all four variants against the post-mutation
 // ground truth.
 func (h *harness) runMutScript(r *rand.Rand) int {
-	var engines [4]*core.Engine
+	var engines [5]*core.Engine
 	for i := range engines {
 		src := h.mono
-		if i >= 2 {
+		switch {
+		case i == 4:
+			src = h.remote
+		case i >= 2:
 			src = h.st
 		}
 		e, err := core.NewWithStore(src, h.sigma)
 		if err != nil {
 			h.tb.Fatal(err)
 		}
-		if i%2 == 1 {
+		if i == 1 || i == 3 {
 			e.SetCandidateCache(h.cache)
 		}
 		engines[i] = e

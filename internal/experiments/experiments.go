@@ -96,7 +96,7 @@ func Names() []string {
 	return []string{
 		"table2", "fig9a", "fig9be", "fig9fi", "fig9j",
 		"table3", "table4", "fig10a", "fig10be", "table5",
-		"latency", "candcache", "trace", "chaos", "shard", "mutate", "filter", "fleet",
+		"latency", "candcache", "trace", "chaos", "shard", "mutate", "filter", "fleet", "rpc",
 		"ablation-sequence", "ablation-freever", "ablation-dif", "ablation-beta",
 	}
 }
@@ -140,6 +140,8 @@ func (s *Suite) Run(name string) error {
 		return s.Filter()
 	case "fleet":
 		return s.Fleet()
+	case "rpc":
+		return s.RPC()
 	case "ablation-sequence":
 		return s.AblationSequence()
 	case "ablation-freever":

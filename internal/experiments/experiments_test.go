@@ -25,6 +25,8 @@ func TestSuiteSmoke(t *testing.T) {
 		"Figure 9(j)", "Table III", "Table IV", "Figure 10(a)",
 		"Figures 10(b)-(e)", "Table V", "Latency budget",
 		"Chaos: overload + worker panics",
+		"Distributed serving: scatter-gather SRT vs shard-server count",
+		"Hedged requests vs a slow primary replica",
 		"Fleet: closed-loop load, static vs adaptive runtime",
 		"Online mutation: throughput and Run SRT under ingest",
 		"sequence invariance", "verification-free", "DIF pruning", "β sensitivity",
@@ -51,7 +53,7 @@ func TestNamesStable(t *testing.T) {
 	// RunAll (exercised by TestSuiteSmoke) iterates Names(), so every name
 	// is known to dispatch; here we only pin the published list.
 	names := Names()
-	if len(names) != 22 {
+	if len(names) != 23 {
 		t.Errorf("experiment list changed: %v", names)
 	}
 	seen := map[string]bool{}

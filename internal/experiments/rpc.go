@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"prague/internal/core"
+	"prague/internal/faultinject"
+	"prague/internal/metrics"
+	"prague/internal/rpcstore"
+	"prague/internal/store"
+)
+
+// RPC demonstrates distributed serving: the 4-shard layout of the AIDS-like
+// store exposed over loopback shard servers, evaluated by a coordinator
+// RemoteStore through the length-prefixed wire protocol. It sweeps server
+// counts (all shards behind one process, split across two, one per process)
+// reporting the Run SRT of the worst-case similarity query with answers
+// checked byte-identical to the local sharded layout, then replays the
+// hedging experiment: two full replicas with a deterministically slow
+// primary, with and without the hedge timer.
+func (s *Suite) RPC() error {
+	if err := s.ensureAIDSQueries(); err != nil {
+		return err
+	}
+	wq := s.aidsQueries[1] // worst-case pick, like the SRT figures
+	sharded, err := store.NewSharded(s.aidsDB, s.aidsIdx, 4)
+	if err != nil {
+		return err
+	}
+	baseline, _, err := shardRunOnce(sharded, wq, s.cfg.Sigma)
+	if err != nil {
+		return err
+	}
+
+	s.header("Distributed serving: scatter-gather SRT vs shard-server count (loopback TCP)")
+	s.printf("4-shard store; answers are checked byte-identical to the local sharded layout\n")
+	s.printf("%-9s %10s %9s\n", "servers", "SRT(ms)", "results")
+	topologies := []struct {
+		n     int
+		serve [][]int
+	}{
+		{1, [][]int{{0, 1, 2, 3}}},
+		{2, [][]int{{0, 1}, {2, 3}}},
+		{4, [][]int{{0}, {1}, {2}, {3}}},
+	}
+	for _, tp := range topologies {
+		results, srt, err := rpcRunOnce(s, sharded, tp.serve, nil, nil)
+		if err != nil {
+			return err
+		}
+		if err := sameResults(baseline, results); err != nil {
+			return fmt.Errorf("experiments: servers=%d diverged from local sharded: %w", tp.n, err)
+		}
+		s.printf("%-9d %10.3f %9d\n", tp.n, ms(srt), len(results))
+	}
+
+	s.header("Hedged requests vs a slow primary replica (8ms injected latency, 2 replicas)")
+	const slow = 8 * time.Millisecond
+	replicas := [][]int{{0, 1, 2, 3}, {0, 1, 2, 3}}
+	arm := func(injs []*faultinject.Injector) {
+		injs[0].Set(faultinject.SiteRPCServe, faultinject.Rule{Every: 1, Latency: slow})
+	}
+	s.printf("%-10s %10s %11s\n", "mode", "SRT(ms)", "hedge wins")
+	for _, mode := range []string{"unhedged", "hedged"} {
+		reg := metrics.NewRegistry()
+		opts := []rpcstore.DialOption{rpcstore.WithClientMetrics(reg)}
+		if mode == "unhedged" {
+			opts = append(opts, rpcstore.WithHedgeDelay(0))
+		}
+		results, srt, err := rpcRunOnce(s, sharded, replicas, arm, opts)
+		if err != nil {
+			return err
+		}
+		if err := sameResults(baseline, results); err != nil {
+			return fmt.Errorf("experiments: %s run diverged from local sharded: %w", mode, err)
+		}
+		s.printf("%-10s %10.3f %11d\n", mode, ms(srt),
+			reg.Counter(metrics.CounterShardRPCHedgeWins).Value())
+	}
+	s.printf("(the unhedged coordinator waits out the primary's injected latency on every shard call;\n")
+	s.printf(" the hedged one escapes to the healthy replica after the hedge delay)\n")
+	return nil
+}
+
+// rpcRunOnce boots one loopback server per serve entry over st, optionally
+// arms per-server injectors after the coordinator has dialed and prefetched,
+// runs wq once, and tears the topology down.
+func rpcRunOnce(s *Suite, st store.Store, serve [][]int, arm func([]*faultinject.Injector), opts []rpcstore.DialOption) ([]core.Result, time.Duration, error) {
+	servers := make([]*rpcstore.Server, 0, len(serve))
+	injs := make([]*faultinject.Injector, 0, len(serve))
+	defer func() {
+		for _, srv := range servers {
+			srv.Close()
+		}
+	}()
+	addrs := make([]string, 0, len(serve))
+	for _, shards := range serve {
+		inj := faultinject.New()
+		srv := rpcstore.NewServer(st,
+			rpcstore.WithServeShards(shards...),
+			rpcstore.WithServerInjector(inj))
+		if err := srv.Listen("127.0.0.1:0"); err != nil {
+			return nil, 0, err
+		}
+		servers = append(servers, srv)
+		injs = append(injs, inj)
+		addrs = append(addrs, srv.Addr().String())
+	}
+	rs, err := rpcstore.Dial(context.Background(), addrs, opts...)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer rs.Close()
+	if arm != nil {
+		arm(injs)
+	}
+	return shardRunOnce(rs, s.aidsQueries[1], s.cfg.Sigma)
+}

@@ -37,14 +37,34 @@ const (
 	// error degrades the probe to the sound no-information candidate set
 	// (the whole database).
 	SiteIndex
+	// SiteRPCConn fires on the coordinator side, once per remote call
+	// attempt before anything hits the wire. A firing error simulates a
+	// dropped connection (the attempt never reaches the server); latency
+	// models a slow network path. Armed via the context injector, like the
+	// local sites.
+	SiteRPCConn
+	// SiteRPCServe fires on a shard server, once per received request
+	// before it is processed. An error rule makes the server drop the
+	// connection (the client sees a transport error — with Every:1 this is
+	// a full partition of that server); a latency rule models a slow shard.
+	// Armed on the server's own injector, not the request context.
+	SiteRPCServe
+	// SiteRPCEpoch fires on a shard server just before a reply is written.
+	// A firing error makes the server answer with a stale epoch tag, so the
+	// client's epoch-consistency check must reject the reply and retry (or
+	// fail over). Latency/panic fields are ignored at this site.
+	SiteRPCEpoch
 
 	numSites
 )
 
 var siteNames = [numSites]string{
-	SiteVerify: "verify",
-	SiteCache:  "cache",
-	SiteIndex:  "index",
+	SiteVerify:   "verify",
+	SiteCache:    "cache",
+	SiteIndex:    "index",
+	SiteRPCConn:  "rpc_conn",
+	SiteRPCServe: "rpc_serve",
+	SiteRPCEpoch: "rpc_epoch",
 }
 
 func (s Site) String() string {
@@ -55,7 +75,9 @@ func (s Site) String() string {
 }
 
 // Sites lists every instrumented site.
-func Sites() []Site { return []Site{SiteVerify, SiteCache, SiteIndex} }
+func Sites() []Site {
+	return []Site{SiteVerify, SiteCache, SiteIndex, SiteRPCConn, SiteRPCServe, SiteRPCEpoch}
+}
 
 // ErrInjected is the sentinel wrapped by every injected error; consumers
 // test with errors.Is. Injected panics carry a PanicValue.

@@ -65,6 +65,20 @@ const (
 	CounterShardGraphsMin = "shard_graphs_min" // smallest shard's graph count
 	CounterShardGraphsMax = "shard_graphs_max" // largest shard's graph count
 
+	// Remote shard RPC counters (see prague/internal/rpcstore). Calls count
+	// logical shard calls; attempts count wire attempts (so attempts - calls
+	// is the retry+hedge overhead). The health pair is gauge-like: endpoints
+	// currently considered healthy / known, refreshed after every call.
+	CounterShardRPCCalls      = "shard_rpc_calls"         // logical remote shard calls
+	CounterShardRPCAttempts   = "shard_rpc_attempts"      // wire attempts (first tries + retries + hedges)
+	CounterShardRPCRetries    = "shard_rpc_retries"       // backoff retry rounds taken
+	CounterShardRPCHedged     = "shard_rpc_hedged"        // hedge requests fired to a replica
+	CounterShardRPCHedgeWins  = "shard_rpc_hedge_wins"    // calls answered by the hedge, not the primary
+	CounterShardRPCErrors     = "shard_rpc_errors"        // calls that failed every endpoint (typed degradation)
+	CounterShardRPCStaleEpoch = "shard_rpc_stale_epoch"   // replies rejected by the epoch-consistency check
+	CounterShardEndpointsUp   = "shard_endpoints_healthy" // endpoints whose last call succeeded (gauge-like)
+	CounterShardEndpointsAll  = "shard_endpoints_total"   // endpoints in the dialed topology (gauge-like)
+
 	// Adaptive verify-prefilter counters (core chooser; see
 	// internal/core/chooser.go). One arm counter bumps per chooser decision;
 	// pruned counts candidates removed before reaching the VF2 verifier.

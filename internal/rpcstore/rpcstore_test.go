@@ -1,0 +1,475 @@
+package rpcstore
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"prague/internal/faultinject"
+	"prague/internal/graph"
+	"prague/internal/index"
+	"prague/internal/metrics"
+	"prague/internal/mining"
+	"prague/internal/store"
+)
+
+var (
+	tNodeLabels = []string{"C", "C", "C", "N", "O", "S"}
+	tEdgeLabels = []string{"", "", "", "1", "2"}
+)
+
+func buildDB(tb testing.TB, seed int64, n int) ([]*graph.Graph, *index.Set) {
+	tb.Helper()
+	r := rand.New(rand.NewSource(seed))
+	db := make([]*graph.Graph, 0, n)
+	for i := 0; i < n; i++ {
+		db = append(db, randGraph(r, i))
+	}
+	res, err := mining.Mine(db, mining.Options{MinSupportRatio: 0.3, MaxSize: 6})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	idx, err := index.Build(res, 0.3, 3)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return db, idx
+}
+
+func randGraph(r *rand.Rand, id int) *graph.Graph {
+	nodes := 4 + r.Intn(6)
+	g := graph.New(id)
+	for v := 0; v < nodes; v++ {
+		g.AddNode(tNodeLabels[r.Intn(len(tNodeLabels))])
+	}
+	for v := 1; v < nodes; v++ {
+		g.MustAddEdge(v, r.Intn(v))
+	}
+	return g
+}
+
+// cluster is a loopback topology: one server per replica, each over its own
+// independent store replica built from the same (db, idx).
+type cluster struct {
+	servers []*Server
+	stores  []store.Store
+	addrs   []string
+}
+
+// newCluster starts `replicas` servers, each holding a full replica sharded
+// n ways; every server serves the shard subset returned by shardsOf(i).
+func newCluster(tb testing.TB, db []*graph.Graph, idx *index.Set, n, replicas int, shardsOf func(i int) []int, opts ...func(i int) []ServerOption) *cluster {
+	tb.Helper()
+	c := &cluster{}
+	for i := 0; i < replicas; i++ {
+		st, err := store.NewSharded(db, idx, n)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		sopts := []ServerOption{WithServeShards(shardsOf(i)...)}
+		for _, extra := range opts {
+			sopts = append(sopts, extra(i)...)
+		}
+		srv := NewServer(st, sopts...)
+		if err := srv.Listen("127.0.0.1:0"); err != nil {
+			tb.Fatal(err)
+		}
+		c.servers = append(c.servers, srv)
+		c.stores = append(c.stores, st)
+		c.addrs = append(c.addrs, srv.Addr().String())
+	}
+	tb.Cleanup(func() {
+		for _, s := range c.servers {
+			s.Close()
+		}
+	})
+	return c
+}
+
+func allShards(n int) func(int) []int {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	return func(int) []int { return ids }
+}
+
+func TestDialValidatesTopology(t *testing.T) {
+	db, idx := buildDB(t, 11, 20)
+
+	t.Run("no-endpoints", func(t *testing.T) {
+		if _, err := Dial(context.Background(), nil); !errors.Is(err, ErrTopology) {
+			t.Errorf("err = %v, want ErrTopology", err)
+		}
+	})
+
+	t.Run("uncovered-shard", func(t *testing.T) {
+		c := newCluster(t, db, idx, 2, 1, func(int) []int { return []int{0} })
+		if _, err := Dial(context.Background(), c.addrs); !errors.Is(err, ErrTopology) {
+			t.Errorf("err = %v, want ErrTopology", err)
+		}
+	})
+
+	t.Run("layout-disagreement", func(t *testing.T) {
+		c2 := newCluster(t, db, idx, 2, 1, allShards(2))
+		c4 := newCluster(t, db, idx, 4, 1, allShards(4))
+		addrs := []string{c2.addrs[0], c4.addrs[0]}
+		if _, err := Dial(context.Background(), addrs); !errors.Is(err, ErrTopology) {
+			t.Errorf("err = %v, want ErrTopology", err)
+		}
+	})
+
+	t.Run("unreachable", func(t *testing.T) {
+		_, err := Dial(context.Background(), []string{"127.0.0.1:1"},
+			WithDialTimeout(100*time.Millisecond))
+		if err == nil {
+			t.Error("dial to a dead port succeeded")
+		}
+	})
+}
+
+// TestRemoteMirrorsLocal checks that the remote store is observably the
+// same store as a local replica: identity, universe, shard partition,
+// graphs, lookups, and candidate probes all agree.
+func TestRemoteMirrorsLocal(t *testing.T) {
+	db, idx := buildDB(t, 12, 30)
+	const n = 2
+	local, err := store.NewSharded(db, idx, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two servers, each the sole owner of one shard.
+	c := newCluster(t, db, idx, n, 2, func(i int) []int { return []int{i} })
+	rs, err := Dial(context.Background(), c.addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+
+	if rs.Epoch() != local.Epoch() || rs.CacheTag() != local.CacheTag() {
+		t.Fatalf("identity diverged: remote (%d, %s), local (%d, %s)",
+			rs.Epoch(), rs.CacheTag(), local.Epoch(), local.CacheTag())
+	}
+	if rs.NumShards() != n || rs.NumGraphs() != local.NumGraphs() {
+		t.Fatalf("shape diverged: remote (%d shards, %d graphs)", rs.NumShards(), rs.NumGraphs())
+	}
+	if !reflect.DeepEqual(rs.LiveIDs(), local.LiveIDs()) {
+		t.Fatal("live universe diverged")
+	}
+	for _, id := range local.LiveIDs() {
+		if rs.ShardOf(id) != local.ShardOf(id) {
+			t.Fatalf("shard assignment of %d diverged", id)
+		}
+		lg, rg := local.Graph(id), rs.Graph(id)
+		if rg == nil || lg.NumNodes() != rg.NumNodes() || lg.NumEdges() != rg.NumEdges() {
+			t.Fatalf("graph %d diverged: local %v, remote %v", id, lg, rg)
+		}
+	}
+	sn := rs.Pin()
+	for i := 0; i < n; i++ {
+		lsh, rsh := local.Shard(i), sn.Shard(i)
+		if !reflect.DeepEqual(lsh.GraphIDs(), rsh.GraphIDs()) {
+			t.Fatalf("shard %d membership diverged", i)
+		}
+		if rsh.Index() != nil {
+			t.Fatalf("remote shard %d exposes a local index", i)
+		}
+		ps, ok := rsh.(store.ProberShard)
+		if !ok {
+			t.Fatalf("remote shard %d is not a ProberShard", i)
+		}
+		// A NIF probe with no constraints enumerates the shard.
+		ids, err := ps.Candidates(context.Background(), store.Probe{Kind: index.KindNone})
+		if err != nil {
+			t.Fatalf("shard %d probe: %v", i, err)
+		}
+		if !reflect.DeepEqual(ids, lsh.GraphIDs()) {
+			t.Fatalf("shard %d unconstrained probe diverged: %v vs %v", i, ids, lsh.GraphIDs())
+		}
+	}
+	// Lookup parity across the mined vocabulary, plus a guaranteed miss.
+	kind, eid := rs.Lookup("no-such-canonical-code")
+	lk, le := local.Lookup("no-such-canonical-code")
+	if kind != lk || eid != le {
+		t.Errorf("miss lookup diverged: remote (%v,%d), local (%v,%d)", kind, eid, lk, le)
+	}
+}
+
+func TestMutationLockstep(t *testing.T) {
+	db, idx := buildDB(t, 13, 24)
+	const n = 2
+	c := newCluster(t, db, idx, n, 2, allShards(n)) // two full replicas
+	rs, err := Dial(context.Background(), c.addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+
+	before := rs.Pin()
+	r := rand.New(rand.NewSource(99))
+	id, err := rs.InsertGraph(randGraph(r, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != before.NumGraphs() {
+		t.Fatalf("assigned id %d, want next slot %d", id, before.NumGraphs())
+	}
+	after := rs.Pin()
+	if after.Epoch() != before.Epoch()+1 || after.NumGraphs() != before.NumGraphs()+1 {
+		t.Fatalf("mirror did not advance: %d@%d -> %d@%d",
+			before.NumGraphs(), before.Epoch(), after.NumGraphs(), after.Epoch())
+	}
+	if after.Graph(id) == nil {
+		t.Fatal("inserted graph unreadable at the new epoch")
+	}
+	// Every replica applied the same mutation at the same epoch.
+	for i, st := range c.stores {
+		if st.Epoch() != after.Epoch() || st.CacheTag() != after.CacheTag() {
+			t.Fatalf("replica %d diverged: (%d, %s) vs (%d, %s)",
+				i, st.Epoch(), st.CacheTag(), after.Epoch(), after.CacheTag())
+		}
+		if st.Graph(id) == nil {
+			t.Fatalf("replica %d missing inserted graph %d", i, id)
+		}
+	}
+	// The pre-mutation pin still answers: old universe, old epoch, and the
+	// old epoch is still probe-able on the servers (pin ring).
+	if before.Graph(id) != nil {
+		t.Error("old snapshot sees the new graph")
+	}
+	sh := before.Shard(before.ShardOf(before.LiveIDs()[0])).(store.ProberShard)
+	if _, err := sh.Candidates(context.Background(), store.Probe{Kind: index.KindNone}); err != nil {
+		t.Errorf("pre-mutation epoch no longer answerable: %v", err)
+	}
+
+	victim := after.LiveIDs()[0]
+	if err := rs.DeleteGraph(victim); err != nil {
+		t.Fatal(err)
+	}
+	final := rs.Pin()
+	if final.Graph(victim) != nil {
+		t.Error("deleted graph still readable at the new epoch")
+	}
+	if after.Graph(victim) == nil {
+		t.Error("pinned pre-delete snapshot lost the graph")
+	}
+	if err := rs.DeleteGraph(victim); !errors.Is(err, store.ErrNoSuchGraph) {
+		t.Errorf("double delete: err = %v, want ErrNoSuchGraph", err)
+	}
+	for i, st := range c.stores {
+		if st.Graph(victim) != nil {
+			t.Fatalf("replica %d still serves deleted graph %d", i, victim)
+		}
+		if st.Epoch() != final.Epoch() {
+			t.Fatalf("replica %d at epoch %d, coordinator at %d", i, st.Epoch(), final.Epoch())
+		}
+	}
+}
+
+func TestStaleEpochBeyondRingIsTyped(t *testing.T) {
+	db, idx := buildDB(t, 14, 16)
+	c := newCluster(t, db, idx, 2, 1, allShards(2), func(int) []ServerOption {
+		return []ServerOption{WithPinRing(2)}
+	})
+	rs, err := Dial(context.Background(), c.addrs,
+		WithRetries(1), WithBackoff(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+
+	old := rs.Pin()
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 6; i++ { // push the original epoch out of the ring
+		if _, err := rs.InsertGraph(randGraph(r, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sh := old.Shard(0).(store.ProberShard)
+	_, perr := sh.Candidates(context.Background(), store.Probe{Kind: index.KindNone})
+	if !errors.Is(perr, store.ErrShardUnavailable) {
+		t.Errorf("evicted epoch probe: err = %v, want ErrShardUnavailable", perr)
+	}
+	// The current pin is unaffected.
+	cur := rs.Pin().Shard(0).(store.ProberShard)
+	if _, err := cur.Candidates(context.Background(), store.Probe{Kind: index.KindNone}); err != nil {
+		t.Errorf("current epoch probe failed: %v", err)
+	}
+}
+
+func TestFailoverToReplica(t *testing.T) {
+	db, idx := buildDB(t, 15, 20)
+	inj := faultinject.New()
+	inj.Set(faultinject.SiteRPCServe, faultinject.Rule{Every: 1, Err: true}) // drop every conn
+	c := newCluster(t, db, idx, 2, 2, allShards(2), func(i int) []ServerOption {
+		if i == 0 {
+			return []ServerOption{WithServerInjector(inj)}
+		}
+		return nil
+	})
+	// Dial talks to the healthy replica too, but server 0 drops everything —
+	// dial must still succeed only if hello reaches both... so arm after dial.
+	inj.Disarm()
+	reg := metrics.NewRegistry()
+	rs, err := Dial(context.Background(), c.addrs,
+		WithClientMetrics(reg), WithHedgeDelay(time.Millisecond),
+		WithRetries(2), WithBackoff(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	inj.Rearm()
+
+	sh := rs.Pin().Shard(0).(store.ProberShard)
+	for i := 0; i < 4; i++ {
+		if _, err := sh.Candidates(context.Background(), store.Probe{Kind: index.KindNone}); err != nil {
+			t.Fatalf("probe %d with one healthy replica failed: %v", i, err)
+		}
+	}
+	hr := rs.ShardHealthReport()
+	if len(hr) != 2 {
+		t.Fatalf("health report for %d shards", len(hr))
+	}
+	for _, h := range hr {
+		if h.Endpoints != 2 || h.Healthy < 1 {
+			t.Errorf("shard %d: %d/%d healthy", h.Shard, h.Healthy, h.Endpoints)
+		}
+	}
+	snap := reg.Snapshot()
+	if snap.Counters[metrics.CounterShardRPCCalls] == 0 ||
+		snap.Counters[metrics.CounterShardRPCAttempts] == 0 {
+		t.Error("rpc counters not wired")
+	}
+}
+
+func TestPartitionIsTypedError(t *testing.T) {
+	db, idx := buildDB(t, 16, 20)
+	inj := faultinject.New()
+	inj.Disarm()
+	c := newCluster(t, db, idx, 2, 1, allShards(2), func(int) []ServerOption {
+		return []ServerOption{WithServerInjector(inj)}
+	})
+	rs, err := Dial(context.Background(), c.addrs,
+		WithRetries(1), WithBackoff(time.Millisecond), WithCallTimeout(200*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	inj.Rearm()
+	inj.Set(faultinject.SiteRPCServe, faultinject.Rule{Every: 1, Err: true})
+
+	sh := rs.Pin().Shard(1).(store.ProberShard)
+	_, perr := sh.Candidates(context.Background(), store.Probe{Kind: index.KindFrequent, FreqID: 0})
+	if !errors.Is(perr, store.ErrShardUnavailable) {
+		t.Errorf("partitioned probe: err = %v, want ErrShardUnavailable", perr)
+	}
+	inj.Disarm()
+	if _, err := sh.Candidates(context.Background(), store.Probe{Kind: index.KindNone}); err != nil {
+		t.Errorf("probe after partition healed: %v", err)
+	}
+}
+
+func TestHedgingBeatsSlowPrimary(t *testing.T) {
+	db, idx := buildDB(t, 17, 20)
+	inj := faultinject.New()
+	inj.Disarm()
+	c := newCluster(t, db, idx, 1, 2, allShards(1), func(i int) []ServerOption {
+		if i == 0 {
+			return []ServerOption{WithServerInjector(inj)}
+		}
+		return nil
+	})
+	reg := metrics.NewRegistry()
+	rs, err := Dial(context.Background(), c.addrs,
+		WithClientMetrics(reg), WithHedgeDelay(2*time.Millisecond),
+		WithCallTimeout(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	inj.Rearm()
+	inj.Set(faultinject.SiteRPCServe, faultinject.Rule{Every: 1, Latency: 300 * time.Millisecond})
+
+	sh := rs.Pin().Shard(0).(store.ProberShard)
+	start := time.Now()
+	if _, err := sh.Candidates(context.Background(), store.Probe{Kind: index.KindNone}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 150*time.Millisecond {
+		t.Errorf("hedged call took %v with a 300ms-slow primary and a fast replica", elapsed)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters[metrics.CounterShardRPCHedged] == 0 {
+		t.Error("no hedge launched against a slow primary")
+	}
+	if snap.Counters[metrics.CounterShardRPCHedgeWins] == 0 {
+		t.Error("hedge did not win against a 300ms-slow primary")
+	}
+}
+
+func TestStaleEpochReplyDetected(t *testing.T) {
+	db, idx := buildDB(t, 18, 16)
+	inj := faultinject.New()
+	inj.Disarm()
+	c := newCluster(t, db, idx, 1, 1, allShards(1), func(int) []ServerOption {
+		return []ServerOption{WithServerInjector(inj)}
+	})
+	reg := metrics.NewRegistry()
+	rs, err := Dial(context.Background(), c.addrs,
+		WithClientMetrics(reg), WithRetries(1), WithBackoff(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	inj.Rearm()
+	inj.Set(faultinject.SiteRPCEpoch, faultinject.Rule{Every: 2, Err: true}) // every 2nd reply lies
+
+	sh := rs.Pin().Shard(0).(store.ProberShard)
+	want := rs.Pin().Shard(0).GraphIDs()
+	for i := 0; i < 6; i++ {
+		ids, err := sh.Candidates(context.Background(), store.Probe{Kind: index.KindNone})
+		if err != nil {
+			continue // a round where every attempt drew the corrupted reply
+		}
+		if !reflect.DeepEqual(ids, want) {
+			t.Fatalf("probe %d accepted a wrong-epoch answer", i)
+		}
+	}
+	if reg.Snapshot().Counters[metrics.CounterShardRPCStaleEpoch] == 0 {
+		t.Error("stale-epoch replies were never detected")
+	}
+}
+
+func TestSaveUnsupported(t *testing.T) {
+	db, idx := buildDB(t, 19, 12)
+	c := newCluster(t, db, idx, 1, 1, allShards(1))
+	rs, err := Dial(context.Background(), c.addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	if err := rs.Save(t.TempDir()); !errors.Is(err, ErrRemoteSave) {
+		t.Errorf("Save: err = %v, want ErrRemoteSave", err)
+	}
+}
+
+func TestJSONCodecEndToEnd(t *testing.T) {
+	db, idx := buildDB(t, 20, 12)
+	c := newCluster(t, db, idx, 2, 1, allShards(2))
+	rs, err := Dial(context.Background(), c.addrs, WithCodec(CodecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	sh := rs.Pin().Shard(0).(store.ProberShard)
+	ids, err := sh.Candidates(context.Background(), store.Probe{Kind: index.KindNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ids, rs.Pin().Shard(0).GraphIDs()) {
+		t.Error("JSON-codec probe diverged from membership")
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -32,6 +33,7 @@ import (
 	"prague/internal/index"
 	"prague/internal/metrics"
 	"prague/internal/ops"
+	"prague/internal/rpcstore"
 	"prague/internal/slo"
 	"prague/internal/store"
 	"prague/internal/trace"
@@ -70,11 +72,14 @@ type Options struct {
 	Metrics       *metrics.Registry
 	Clock         clock.Clock
 
-	// Store layout: an explicit pre-built store wins; otherwise Shards > 1
+	// Store layout: an explicit pre-built store wins; otherwise
+	// RemoteEndpoints dials a remote shard-server topology (the service
+	// owns the dialed store and closes it on Close); otherwise Shards > 1
 	// hash-partitions the database at construction; otherwise the store is
 	// monolithic.
-	Store  store.Store
-	Shards int
+	Store           store.Store
+	Shards          int
+	RemoteEndpoints []string
 
 	Trace         bool          // record per-action span trees
 	SlowThreshold time.Duration // slow-journal admission threshold
@@ -143,6 +148,17 @@ func WithStore(st store.Store) Option { return func(o *Options) { o.Store = st }
 // to the monolithic layout. n ≤ 1 keeps the monolithic store (the default).
 // Ignored when WithStore supplies a store directly.
 func WithShards(n int) Option { return func(o *Options) { o.Shards = n } }
+
+// WithRemoteShards serves sessions from a remote shard-server topology:
+// New dials every endpoint (rpcstore shard servers over TCP), validates
+// that the replicas agree on layout and epoch, and builds the coordinator
+// store. The engine, candidate cache, and SLO runtime are unchanged — only
+// candidate enumeration and mutation cross the network. The service owns
+// the dialed store and closes it on Close. Ignored when WithStore supplies
+// a store directly.
+func WithRemoteShards(endpoints ...string) Option {
+	return func(o *Options) { o.RemoteEndpoints = endpoints }
+}
 
 // WithTracing enables (or disables) per-action structured tracing: every
 // AddEdge/DeleteEdge/Run records a span tree of its evaluation phases, SRT
@@ -234,14 +250,15 @@ func withJanitorHook(fn func(evicted int)) Option {
 // Service serves concurrent formulation sessions over one immutable
 // database + index pair. All methods are safe for concurrent use.
 type Service struct {
-	st     store.Store
-	opt    Options
-	pool   *workpool.Pool
-	reg    *metrics.Registry
-	clk    clock.Clock
-	cache  *candcache.Cache // shared across sessions; nil when disabled
-	tracer *trace.Tracer    // nil when tracing was never requested
-	ops    *ops.Server      // nil unless WithOpsServer
+	st         store.Store
+	ownedStore io.Closer // set when New dialed the store itself (remote shards)
+	opt        Options
+	pool       *workpool.Pool
+	reg        *metrics.Registry
+	clk        clock.Clock
+	cache      *candcache.Cache // shared across sessions; nil when disabled
+	tracer     *trace.Tracer    // nil when tracing was never requested
+	ops        *ops.Server      // nil unless WithOpsServer
 
 	// Global admission bound: inflightN counts actions in flight,
 	// inflightLimit is the adjustable cap (0: unlimited). Admission is
@@ -293,11 +310,16 @@ func New(db []*graph.Graph, idx *index.Set, opts ...Option) (*Service, error) {
 		return nil, fmt.Errorf("service: σ = %d: %w", opt.Sigma, core.ErrNegativeSigma)
 	}
 	st := opt.Store
+	ownedStore := false
 	if st == nil {
 		var err error
-		if opt.Shards > 1 {
+		switch {
+		case len(opt.RemoteEndpoints) > 0:
+			st, err = rpcstore.Dial(context.Background(), opt.RemoteEndpoints)
+			ownedStore = err == nil
+		case opt.Shards > 1:
 			st, err = store.NewSharded(db, idx, opt.Shards)
-		} else {
+		default:
 			st, err = store.NewMem(db, idx)
 		}
 		if err != nil {
@@ -320,6 +342,15 @@ func New(db []*graph.Graph, idx *index.Set, opts ...Option) (*Service, error) {
 		clk:      clk,
 		cache:    candcache.New(opt.CandCache, reg),
 		sessions: map[string]*Session{},
+	}
+	if ownedStore {
+		s.ownedStore, _ = st.(io.Closer)
+	}
+	// A store that exports its own counters (the remote coordinator's
+	// shard_rpc_* family and endpoint-health gauges) reports into the
+	// service's registry.
+	if ms, ok := st.(interface{ SetMetrics(*metrics.Registry) }); ok {
+		ms.SetMetrics(reg)
 	}
 	reg.Counter(metrics.CounterShardCount).Set(int64(st.NumShards()))
 	minG, maxG := st.Shard(0).NumGraphs(), st.Shard(0).NumGraphs()
@@ -414,6 +445,9 @@ func (s *Service) Close() {
 	}
 	s.pool.Close()
 	s.ops.Close() //nolint:errcheck // shutdown timeout only
+	if s.ownedStore != nil {
+		s.ownedStore.Close() //nolint:errcheck // remote conn teardown
+	}
 }
 
 // Metrics returns the registry the service records into.
@@ -436,8 +470,17 @@ func (s *Service) OpsAddr() string { return s.ops.Addr() }
 func (s *Service) CandidateCache() *candcache.Cache { return s.cache }
 
 // Store returns the graph store sessions evaluate against (monolithic
-// unless constructed with WithShards or WithStore).
+// unless constructed with WithShards, WithRemoteShards, or WithStore).
 func (s *Service) Store() store.Store { return s.st }
+
+// ShardHealth reports per-shard endpoint health when the store serves a
+// remote topology (WithRemoteShards), or nil for in-process stores.
+func (s *Service) ShardHealth() []store.ShardHealth {
+	if hr, ok := s.st.(store.HealthReporter); ok {
+		return hr.ShardHealthReport()
+	}
+	return nil
+}
 
 // Snapshot captures the current metrics.
 func (s *Service) Snapshot() metrics.Snapshot { return s.reg.Snapshot() }

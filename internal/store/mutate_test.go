@@ -183,6 +183,56 @@ func TestMutationValidation(t *testing.T) {
 	}
 }
 
+// TestCacheTagLineage pins the CacheTag contract that every tag-keyed
+// process-global cache (candcache, the chooser's signature tables) depends
+// on: a tag identifies the computation completely, so it must capture the
+// mutation *history*, not just a content fingerprint frozen at construction
+// plus an epoch counter. Two stores with identical initial content applying
+// different mutation sequences land on the same epoch with different
+// databases — sharing a tag there aliases cache entries across stores and
+// silently corrupts answers. Replicas applying identical sequences must keep
+// identical tags at every step: that equality is what lets the remote
+// store's lockstep mutation broadcast share one client-side cache across all
+// endpoints.
+func TestCacheTagLineage(t *testing.T) {
+	db := testDB(t, 29, 12)
+	build := func() Store {
+		st, err := NewMem(db, buildIndex(t, db, 0.25, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	a, b, rep := build(), build(), build()
+	if a.CacheTag() != b.CacheTag() {
+		t.Fatalf("identical unmutated content must share a tag: %q vs %q", a.CacheTag(), b.CacheTag())
+	}
+
+	mutate := func(st Store, g *graph.Graph, del int) {
+		if _, err := st.InsertGraph(g); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.DeleteGraph(del); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mutate(a, extraGraph(7), 0)   // history A
+	mutate(b, extraGraph(8), 1)   // history B: same epoch, different database
+	mutate(rep, extraGraph(7), 0) // lockstep replica of A
+
+	if a.Epoch() != b.Epoch() {
+		t.Fatalf("epochs diverged: %d vs %d", a.Epoch(), b.Epoch())
+	}
+	if a.CacheTag() == b.CacheTag() {
+		t.Fatalf("divergent mutation histories share tag %q at epoch %d; tag-keyed caches would alias across stores",
+			a.CacheTag(), a.Epoch())
+	}
+	if a.CacheTag() != rep.CacheTag() {
+		t.Fatalf("lockstep replicas diverged: %q vs %q (mutation broadcast relies on tag equality)",
+			a.CacheTag(), rep.CacheTag())
+	}
+}
+
 func TestPinnedSnapshotIsolation(t *testing.T) {
 	db := testDB(t, 23, 15)
 	st, err := NewSharded(db, buildIndex(t, db, 0.25, 2), 3)

@@ -211,6 +211,8 @@ func (b *base) InsertGraph(g *graph.Graph) (int, error) {
 	cA2F, cA2I := set.ContainedIn(g)
 
 	ns := cur.clone()
+	ns.fp = rollFp(cur.fp, 'i', id, g)
+	ns.tag = makeTag(ns.kind, ns.fp, ns.epoch)
 	ns.graphs = append(append(make([]*graph.Graph, 0, len(cur.graphs)+1), cur.graphs...), g)
 	ns.live = append(append(make([]int, 0, len(cur.live)+1), cur.live...), id)
 	old := cur.shards[si]
@@ -247,6 +249,8 @@ func (b *base) DeleteGraph(id int) error {
 	set, remF, remI := cur.shards[si].set.ApplyDelete(id)
 
 	ns := cur.clone()
+	ns.fp = rollFp(cur.fp, 'd', id, nil)
+	ns.tag = makeTag(ns.kind, ns.fp, ns.epoch)
 	ns.graphs = append([]*graph.Graph(nil), cur.graphs...)
 	ns.graphs[id] = nil
 	ns.live = intset.Diff(cur.live, []int{id})
@@ -313,6 +317,50 @@ func fingerprint(kind string, graphs []*graph.Graph, shards []*shardSnap) string
 
 func makeTag(kind, fp string, epoch uint64) string {
 	return fmt.Sprintf("%s:%s@%d", kind, fp, epoch)
+}
+
+// rollFp advances the lineage fingerprint over one mutation. The CacheTag
+// contract — a tag identifies the computation completely — requires the
+// fingerprint to capture the mutation *history*, not just a counter: two
+// stores built from identical content that apply different mutation
+// sequences reach the same epoch number with different databases, and an
+// epoch-only tag would let their cache entries alias (a process-wide cache,
+// like the verify-prefilter's signature tables, would then serve one
+// store's features for the other's graphs). Chaining the previous
+// fingerprint makes the tag a hash of the whole history; hashing the
+// inserted graph's labeled structure (not just its shape) separates
+// same-slot inserts of different graphs. Replicas applying the same
+// sequence in lockstep — the rpcstore broadcast contract — hash identical
+// inputs and keep identical tags, which Dial's topology check and the
+// differential suites assert.
+func rollFp(fp string, op byte, id int, g *graph.Graph) string {
+	h := fnv.New64a()
+	h.Write([]byte(fp))
+	h.Write([]byte{op})
+	write := func(vs ...int) {
+		var buf [8]byte
+		for _, v := range vs {
+			u := uint64(v)
+			for i := 0; i < 8; i++ {
+				buf[i] = byte(u >> (8 * i))
+			}
+			h.Write(buf[:])
+		}
+	}
+	write(id)
+	if g != nil {
+		write(g.NumNodes(), g.Size())
+		for v := 0; v < g.NumNodes(); v++ {
+			h.Write([]byte(g.Label(v)))
+			h.Write([]byte{0})
+		}
+		for _, e := range g.Edges() {
+			write(e.U, e.V)
+			h.Write([]byte(g.EdgeLabel(e.U, e.V)))
+			h.Write([]byte{0})
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // liveByShard distributes ascending live ids over n shards by the hash

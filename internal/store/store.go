@@ -19,6 +19,7 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -44,6 +45,12 @@ var (
 	ErrBadGraph = errors.New("insert requires a non-empty connected graph")
 	// ErrNoSuchGraph: DeleteGraph's id is out of range or already deleted.
 	ErrNoSuchGraph = errors.New("no such data graph")
+	// ErrShardUnavailable: a shard's candidate probe could not be served —
+	// every endpoint owning the shard failed (or replied at the wrong
+	// epoch) within the call's budget. Only probes whose result feeds
+	// verification-free answering surface it; probes that are verified
+	// downstream degrade to sound supersets instead.
+	ErrShardUnavailable = errors.New("shard unavailable")
 )
 
 // Snapshot is one consistent, immutable view of a store: the graph slots,
@@ -120,6 +127,54 @@ type Shard interface {
 	// Index returns the shard-restricted index set.
 	Index() *index.Set
 }
+
+// Probe is one Algorithm 3 index probe against a single shard, in a form
+// that can cross a process boundary: the vertex's classification plus the
+// entry ids to intersect. It captures exactly what shardCandidates reads
+// from a spig.Vertex, so a remote shard can evaluate the probe without the
+// vertex (or the query) ever leaving the coordinator.
+type Probe struct {
+	Kind   index.Kind // KindFrequent / KindDIF / KindNone (NIF)
+	FreqID int        // A²F entry id when Kind == KindFrequent
+	DifID  int        // A²I entry id when Kind == KindDIF
+	Phi    []int      // indexed frequent subgraphs (A²F entry ids), NIF only
+	Ups    []int      // indexed DIF subgraphs (A²I entry ids), NIF only
+}
+
+// ProberShard is the optional shard capability remote layouts implement
+// instead of Index(): candidate enumeration as one round trip. When a
+// shard's Index() returns nil, candidate maintenance dispatches the probe
+// here; errors from indexed probes wrap ErrShardUnavailable, while NIF
+// probe failures are degraded by the caller to the shard's whole id set
+// (sound — NIF lists are always verified downstream).
+type ProberShard interface {
+	Shard
+	// Candidates evaluates the probe against the shard at the snapshot's
+	// pinned epoch and returns ascending global graph ids.
+	Candidates(ctx context.Context, p Probe) ([]int, error)
+}
+
+// ShardHealth is one shard's serving status as seen by a coordinator:
+// how many endpoints own the shard and how many of them answered their
+// most recent call.
+type ShardHealth struct {
+	Shard     int
+	Endpoints int
+	Healthy   int
+}
+
+// HealthReporter is implemented by layouts that track per-shard endpoint
+// health (the remote coordinator store). Local layouts do not implement it:
+// their shards are in-process and cannot be "down".
+type HealthReporter interface {
+	ShardHealthReport() []ShardHealth
+}
+
+// AssignShard returns the partition owning a global graph id under the
+// hash assignment every layout shares (splitmix64 mod n). It is exported so
+// out-of-process coordinators compute shard ownership without a snapshot —
+// the assignment is stable across processes and layouts by construction.
+func AssignShard(id, n int) int { return shardOf(id, n) }
 
 // Validate checks the invariants every store constructor shares: a non-empty
 // database with dense identifiers and a built index set.

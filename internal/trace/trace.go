@@ -54,6 +54,7 @@ const (
 	KindDegrade      // transparent containment→similarity degradation
 	KindShardEval    // per-shard candidate/verification fan-out
 	KindFilterChoose // adaptive verify-prefilter arm selection + pruning
+	KindShardRPC     // one remote shard call (scatter-gather leg, incl. retries/hedges)
 
 	// Synthetic kinds (recorded via Tracer.RecordEvent, not span trees).
 	KindSLOViolation // one SLO-violating tracker tick (slo package)
@@ -78,6 +79,7 @@ var kindNames = [numKinds]string{
 	KindDegrade:      "degrade_similarity",
 	KindShardEval:    "shard_eval",
 	KindFilterChoose: "filter_choose",
+	KindShardRPC:     "shard_rpc",
 	KindSLOViolation: "slo_violation",
 	KindAdapt:        "adapt",
 }

@@ -63,6 +63,7 @@ import (
 	"prague/internal/metrics"
 	"prague/internal/mining"
 	"prague/internal/patterns"
+	"prague/internal/rpcstore"
 	"prague/internal/service"
 	"prague/internal/slo"
 	"prague/internal/store"
@@ -336,6 +337,29 @@ func LoadShardedStore(db *Database, dir string) (GraphStore, error) {
 	return store.LoadSharded(db.graphs, dir)
 }
 
+// DialStore connects to a remote shard-server topology (cmd/shardserver
+// processes) and returns a coordinator-side GraphStore: candidate probes
+// scatter-gather over TCP with per-shard retry, replica failover, and
+// hedged requests; graphs are prefetched and cached client-side; mutations
+// broadcast to every replica in lockstep. Replicas claiming the same shard
+// serve as failover/hedging targets. The returned store also implements
+// io.Closer — close it when done (NewServiceFromStore does not take
+// ownership; prefer WithRemoteShards to let the service own the dial).
+func DialStore(ctx context.Context, endpoints []string, opts ...RemoteOption) (GraphStore, error) {
+	return rpcstore.Dial(ctx, endpoints, opts...)
+}
+
+// RemoteOption configures DialStore (codec, timeouts, hedging, retries);
+// see prague/internal/rpcstore for the full set.
+type RemoteOption = rpcstore.DialOption
+
+// WithRemoteHedgeDelay sets how long a remote shard call waits on the
+// primary replica before hedging the request to another (default 2ms).
+func WithRemoteHedgeDelay(d time.Duration) RemoteOption { return rpcstore.WithHedgeDelay(d) }
+
+// WithRemoteCallTimeout bounds one remote wire attempt (default 2s).
+func WithRemoteCallTimeout(d time.Duration) RemoteOption { return rpcstore.WithCallTimeout(d) }
+
 // NewSession starts a single-user PRAGUE session over the database with
 // subgraph distance threshold sigma (how many query edges an approximate
 // match may miss). For serving many users, prefer NewService.
@@ -406,6 +430,14 @@ func WithMaxSessions(n int) Option { return service.WithMaxSessions(n) }
 // deterministically, so results are byte-identical to the default monolithic
 // layout. n ≤ 1 keeps the monolithic store.
 func WithShards(n int) Option { return service.WithShards(n) }
+
+// WithRemoteShards serves sessions from a remote shard-server topology:
+// the service dials every endpoint at construction, validates the replicas
+// agree on layout and epoch, owns the connection (closed on Close), and
+// reports shard_rpc_* metrics and endpoint-health gauges into the service
+// registry. Engine behavior is unchanged — only candidate enumeration and
+// mutation cross the network.
+func WithRemoteShards(endpoints ...string) Option { return service.WithRemoteShards(endpoints...) }
 
 // WithStore serves sessions from a pre-built GraphStore (e.g. a sharded
 // store restored with LoadShardedStore); the database and indexes passed to
@@ -631,6 +663,13 @@ type TraceSpan = trace.SpanData
 // background goroutines.
 func NewServiceFromStore(st GraphStore, opts ...Option) (*Service, error) {
 	return service.NewFromStore(st, opts...)
+}
+
+// NewServiceFromRemote builds a service over a remote shard-server topology:
+// pass WithRemoteShards(endpoints...) plus any other options. The service
+// dials at construction, owns the coordinator store, and closes it on Close.
+func NewServiceFromRemote(opts ...Option) (*Service, error) {
+	return service.New(nil, nil, opts...)
 }
 
 // NewService builds a concurrent session service over the database and

@@ -5,12 +5,17 @@
 // queries recorded). It is a schema gate, not a performance gate — the
 // static-vs-adaptive acceptance bar lives in TestFleetArtifact itself.
 //
+// An absent artifact is a hard failure, the same as a malformed one: the CI
+// job exists to prove the recording step produced the file, so "nothing to
+// check" must never read as "checked".
+//
 // Usage: go run ./scripts/fleetcheck BENCH_fleet.json
 package main
 
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 )
 
@@ -36,69 +41,92 @@ type artifact struct {
 }
 
 func main() {
-	if len(os.Args) != 2 {
-		fail("usage: fleetcheck <BENCH_fleet.json>")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "fleetcheck: %v\n", err)
+		os.Exit(1)
 	}
-	buf, err := os.ReadFile(os.Args[1])
+}
+
+// run is the whole checker behind an error boundary, so the regression tests
+// can drive it without forking a process: a missing artifact, a schema
+// violation, and a clean pass all come back as values.
+func run(args []string, out io.Writer) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: fleetcheck <BENCH_fleet.json>")
+	}
+	path := args[0]
+	buf, err := os.ReadFile(path)
 	if err != nil {
-		fail("%v", err)
+		// Surface absence explicitly — the recording step upstream failed.
+		if os.IsNotExist(err) {
+			return fmt.Errorf("artifact %s does not exist (was the recording step skipped?)", path)
+		}
+		return err
 	}
+	a, err := check(buf)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "fleetcheck: %s ok (%d session counts, %d knob adjustments)\n",
+		path, len(a.Rows), *a.Adjustments)
+	return nil
+}
+
+// check validates one decoded artifact body against the fleet-smoke schema.
+func check(buf []byte) (*artifact, error) {
 	var a artifact
 	if err := json.Unmarshal(buf, &a); err != nil {
-		fail("not valid JSON: %v", err)
+		return nil, fmt.Errorf("not valid JSON: %v", err)
 	}
 	if a.Workload == "" {
-		fail("missing workload description")
+		return nil, fmt.Errorf("missing workload description")
 	}
 	if a.Adjustments == nil {
-		fail("missing adaptive_adjustments")
+		return nil, fmt.Errorf("missing adaptive_adjustments")
 	}
 	if len(a.Rows) == 0 || len(a.Sessions) != len(a.Rows) {
-		fail("sessions axis (%d) does not match rows (%d)", len(a.Sessions), len(a.Rows))
+		return nil, fmt.Errorf("sessions axis (%d) does not match rows (%d)", len(a.Sessions), len(a.Rows))
 	}
 	for i, r := range a.Rows {
 		if r.Sessions != a.Sessions[i] {
-			fail("row %d: sessions %d does not match axis %d", i, r.Sessions, a.Sessions[i])
+			return nil, fmt.Errorf("row %d: sessions %d does not match axis %d", i, r.Sessions, a.Sessions[i])
 		}
 		if i > 0 && r.Sessions <= a.Rows[i-1].Sessions {
-			fail("session axis not strictly increasing at row %d: %d after %d",
+			return nil, fmt.Errorf("session axis not strictly increasing at row %d: %d after %d",
 				i, r.Sessions, a.Rows[i-1].Sessions)
 		}
 		for name, p := range map[string]*point{"static": r.Static, "adaptive": r.Adaptive} {
 			if p == nil {
-				fail("row %d: missing %s point", i, name)
+				return nil, fmt.Errorf("row %d: missing %s point", i, name)
 			}
-			checkPoint(i, name, p)
+			if err := checkPoint(i, name, p); err != nil {
+				return nil, err
+			}
 		}
 	}
-	fmt.Printf("fleetcheck: %s ok (%d session counts, %d knob adjustments)\n",
-		os.Args[1], len(a.Rows), *a.Adjustments)
+	return &a, nil
 }
 
-func checkPoint(i int, name string, p *point) {
+func checkPoint(i int, name string, p *point) error {
 	for field, v := range map[string]*int64{"p50_us": p.P50US, "p99_us": p.P99US, "queries": p.Queries, "shed": p.Shed} {
 		if v == nil {
-			fail("row %d %s: missing %s", i, name, field)
+			return fmt.Errorf("row %d %s: missing %s", i, name, field)
 		}
 		if *v < 0 {
-			fail("row %d %s: negative %s (%d)", i, name, field, *v)
+			return fmt.Errorf("row %d %s: negative %s (%d)", i, name, field, *v)
 		}
 	}
 	if p.ShedRate == nil {
-		fail("row %d %s: missing shed_rate", i, name)
+		return fmt.Errorf("row %d %s: missing shed_rate", i, name)
 	}
 	if *p.ShedRate < 0 || *p.ShedRate > 1 {
-		fail("row %d %s: shed_rate %v outside [0,1]", i, name, *p.ShedRate)
+		return fmt.Errorf("row %d %s: shed_rate %v outside [0,1]", i, name, *p.ShedRate)
 	}
 	if *p.Queries == 0 {
-		fail("row %d %s: no completed queries recorded", i, name)
+		return fmt.Errorf("row %d %s: no completed queries recorded", i, name)
 	}
 	if *p.P99US < *p.P50US {
-		fail("row %d %s: p99 (%d) below p50 (%d)", i, name, *p.P99US, *p.P50US)
+		return fmt.Errorf("row %d %s: p99 (%d) below p50 (%d)", i, name, *p.P99US, *p.P50US)
 	}
-}
-
-func fail(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "fleetcheck: "+format+"\n", args...)
-	os.Exit(1)
+	return nil
 }

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// goodArtifact builds a minimal schema-complete artifact body.
+func goodArtifact() string {
+	pt := func() string {
+		return `{"p50_us": 100, "p99_us": 400, "shed_rate": 0.1, "queries": 50, "shed": 5}`
+	}
+	rows := make([]string, 0, 2)
+	for _, s := range []int{8, 16} {
+		rows = append(rows, fmt.Sprintf(`{"sessions": %d, "static": %s, "adaptive": %s}`, s, pt(), pt()))
+	}
+	return fmt.Sprintf(`{
+		"workload": "unit fixture",
+		"sessions": [8, 16],
+		"adaptive_adjustments": 3,
+		"rows": [%s]
+	}`, strings.Join(rows, ","))
+}
+
+// TestRunMissingArtifact is the regression this checker exists for: an
+// absent BENCH_fleet.json must be a hard failure naming the file, never a
+// clean exit — CI greps for nothing, only the exit code, so a silent pass
+// here would vacuously green the fleet-smoke job.
+func TestRunMissingArtifact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_fleet.json")
+	err := run([]string{path}, &bytes.Buffer{})
+	if err == nil {
+		t.Fatal("run() passed on a nonexistent artifact")
+	}
+	if !strings.Contains(err.Error(), path) || !strings.Contains(err.Error(), "does not exist") {
+		t.Fatalf("missing-artifact error should name the file and the cause, got: %v", err)
+	}
+}
+
+func TestRunUsage(t *testing.T) {
+	for _, args := range [][]string{{}, {"a", "b"}} {
+		if err := run(args, &bytes.Buffer{}); err == nil || !strings.Contains(err.Error(), "usage") {
+			t.Errorf("run(%v) = %v, want usage error", args, err)
+		}
+	}
+}
+
+func TestRunValidArtifact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_fleet.json")
+	if err := os.WriteFile(path, []byte(goodArtifact()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{path}, &out); err != nil {
+		t.Fatalf("run() on a valid artifact: %v", err)
+	}
+	if !strings.Contains(out.String(), "ok (2 session counts, 3 knob adjustments)") {
+		t.Fatalf("unexpected summary: %q", out.String())
+	}
+}
+
+// TestCheckRejects pins one representative violation per schema rule.
+func TestCheckRejects(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(string) string
+		wantErr string
+	}{
+		{"not JSON", func(s string) string { return s[1:] }, "not valid JSON"},
+		{"empty body", func(string) string { return `{}` }, "missing workload"},
+		{"no adjustments", func(s string) string {
+			return strings.Replace(s, `"adaptive_adjustments": 3,`, "", 1)
+		}, "missing adaptive_adjustments"},
+		{"axis mismatch", func(s string) string {
+			return strings.Replace(s, `"sessions": [8, 16]`, `"sessions": [8]`, 1)
+		}, "does not match rows"},
+		{"axis not increasing", func(s string) string {
+			return strings.Replace(strings.Replace(s, `"sessions": [8, 16]`, `"sessions": [8, 8]`, 1),
+				`{"sessions": 16`, `{"sessions": 8`, 1)
+		}, "not strictly increasing"},
+		{"missing point", func(s string) string {
+			return strings.Replace(s, `"static": {"p50_us": 100, "p99_us": 400, "shed_rate": 0.1, "queries": 50, "shed": 5}`,
+				`"static": null`, 1)
+		}, "missing static point"},
+		{"missing field", func(s string) string {
+			return strings.Replace(s, `"p99_us": 400, `, "", 1)
+		}, "missing p99_us"},
+		{"negative latency", func(s string) string {
+			return strings.Replace(s, `"p50_us": 100`, `"p50_us": -1`, 1)
+		}, "negative p50_us"},
+		{"shed rate out of range", func(s string) string {
+			return strings.Replace(s, `"shed_rate": 0.1`, `"shed_rate": 1.5`, 1)
+		}, "outside [0,1]"},
+		{"zero queries", func(s string) string {
+			return strings.Replace(s, `"queries": 50`, `"queries": 0`, 1)
+		}, "no completed queries"},
+		{"inverted quantiles", func(s string) string {
+			return strings.Replace(s, `"p99_us": 400`, `"p99_us": 10`, 1)
+		}, "below p50"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := check([]byte(tc.mutate(goodArtifact())))
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("check() = %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
